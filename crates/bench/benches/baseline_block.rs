@@ -1,0 +1,130 @@
+//! Baseline comparison (paper §V): the MGARD-style multilevel progressive
+//! path vs a ZFP-like block-transform codec with truncation-based
+//! progressive decoding.
+//!
+//! Two comparisons are reported:
+//!
+//! 1. **Matched requested bound** — each codec plans with its own
+//!    conservative error control. The block path's single-stage bound is
+//!    far less pessimistic than the multilevel theory constants, so it can
+//!    read fewer bytes at loose tolerances (while achieving errors much
+//!    closer to the bound).
+//! 2. **Matched achieved error** — the quality-for-bytes frontier. Here
+//!    the multilevel path should win: per-level plane control spends bits
+//!    unevenly across scales, which whole-stream truncation cannot.
+
+use pmr_bench::{bench_size, bench_timesteps, datasets, human_bytes, output, sci};
+use pmr_blockcodec::{BlockCompressed, BlockConfig};
+use pmr_field::error::max_abs_error;
+use pmr_mgard::{CompressConfig, Compressed};
+use pmr_sim::WarpXField;
+
+fn main() {
+    let size = bench_size();
+    let ts = bench_timesteps();
+    let t = ts / 2;
+    let field = datasets::warpx(&datasets::warpx_cfg(size, ts), WarpXField::Jx, t);
+    let raw = (field.len() * 8) as u64;
+
+    let ml = Compressed::compress(&field, &CompressConfig::default());
+    let bc = BlockCompressed::compress(&field, &BlockConfig::default());
+    println!(
+        "payloads: multilevel {} | block {} | raw {}",
+        human_bytes(ml.total_bytes()),
+        human_bytes(bc.total_bytes()),
+        human_bytes(raw)
+    );
+
+    let mut rows = Vec::new();
+    let mut ml_wins = 0usize;
+    let mut total = 0usize;
+    for k in -8i32..=-1 {
+        let rel = 10f64.powi(k);
+        let abs = ml.absolute_bound(rel);
+        // Multilevel: theory plan.
+        let mplan = ml.plan_theory(abs);
+        let mrec = ml.retrieve(&mplan);
+        let merr = max_abs_error(field.data(), mrec.data());
+        let mbytes = ml.retrieved_bytes(&mplan);
+        // Block codec: plane prefix via its own (also pessimistic) bound.
+        let b = bc.plan(abs);
+        let brec = bc.retrieve(b);
+        let berr = max_abs_error(field.data(), brec.data());
+        let bbytes = bc.bytes_for(b);
+        if mbytes <= bbytes {
+            ml_wins += 1;
+        }
+        total += 1;
+        rows.push(vec![
+            sci(rel),
+            human_bytes(mbytes),
+            sci(merr),
+            human_bytes(bbytes),
+            sci(berr),
+            format!("{:.2}x", bbytes as f64 / mbytes.max(1) as f64),
+        ]);
+    }
+    output::print_table(
+        &format!(
+            "Baseline 1: matched requested bound, own error control (J_x, t={t}, {size}^3)"
+        ),
+        &["rel_bound", "mgard_bytes", "mgard_err", "block_bytes", "block_err", "block/mgard"],
+        &rows,
+    );
+    output::write_csv(
+        "baseline_block_bound.csv",
+        &["rel_bound", "mgard_bytes", "mgard_err", "block_bytes", "block_err", "ratio"],
+        &rows,
+    );
+    println!(
+        "  (multilevel cheaper on {ml_wins}/{total} bounds — the block path's tighter\n\
+         \u{20}  single-stage bound wins at loose tolerances, at much looser achieved error)"
+    );
+
+    // Comparison 2: bytes at matched *achieved* error. For each multilevel
+    // operating point, find the cheapest block prefix that reaches at
+    // least that quality.
+    let mut rows2 = Vec::new();
+    let mut ml_frontier_wins = 0usize;
+    let mut total2 = 0usize;
+    for k in -7i32..=-1 {
+        let rel = 10f64.powi(k);
+        let mplan = ml.plan_theory(ml.absolute_bound(rel));
+        let mrec = ml.retrieve(&mplan);
+        let merr = max_abs_error(field.data(), mrec.data());
+        let mbytes = ml.retrieved_bytes(&mplan);
+        // Cheapest block prefix achieving err <= merr.
+        let mut bbytes = None;
+        for b in 0..=bc.num_planes() {
+            let rec = bc.retrieve(b);
+            if max_abs_error(field.data(), rec.data()) <= merr {
+                bbytes = Some(bc.bytes_for(b));
+                break;
+            }
+        }
+        let (bb, ratio) = match bbytes {
+            Some(bb) => (human_bytes(bb), format!("{:.2}x", bb as f64 / mbytes.max(1) as f64)),
+            None => ("unreachable".to_string(), "-".to_string()),
+        };
+        if bbytes.is_none_or(|bb| bb >= mbytes) {
+            ml_frontier_wins += 1;
+        }
+        total2 += 1;
+        rows2.push(vec![sci(merr), human_bytes(mbytes), bb, ratio]);
+    }
+    output::print_table(
+        "Baseline 2: bytes at matched achieved error",
+        &["achieved_err", "mgard_bytes", "block_bytes", "block/mgard"],
+        &rows2,
+    );
+    output::write_csv(
+        "baseline_block_matched.csv",
+        &["achieved_err", "mgard_bytes", "block_bytes", "ratio"],
+        &rows2,
+    );
+    println!(
+        "\nOn the quality-for-bytes frontier the multilevel path wins \
+         {ml_frontier_wins}/{total2} points:\nper-level plane control spends bits unevenly \
+         across scales; stream truncation cannot."
+    );
+}

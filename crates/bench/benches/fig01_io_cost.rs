@@ -1,0 +1,87 @@
+//! Figure 1: the I/O cost incurred by the requested tolerance vs the I/O
+//! cost incurred by the over-pessimistic error estimation (fields `B_x`
+//! and `E_x` from WarpX).
+//!
+//! "Requested" I/O cost is what an exact error-control oracle would read:
+//! the smallest greedy plan whose *actual* reconstruction error still
+//! satisfies the bound (found here by bisection over the greedy path).
+//! "Achieved" is what the theory estimator actually reads. Expected shape:
+//! achieved > requested across the sweep.
+
+use pmr_bench::{bench_size, bench_timesteps, datasets, human_bytes, output, sci, setup};
+use pmr_field::{error::max_abs_error, Field};
+use pmr_mgard::{CompressConfig, Compressed};
+use pmr_sim::WarpXField;
+
+/// Bytes of the smallest theory-path plan whose actual error meets `abs`.
+///
+/// The greedy path is monotone in the internal target: planning for a
+/// looser internal bound fetches a prefix of the tighter plan. Bisect the
+/// internal target so the actual error lands just under `abs`.
+fn oracle_bytes(field: &Field, c: &Compressed, abs: f64) -> u64 {
+    let mut lo = abs; // internal target that certainly satisfies the bound
+    let mut hi = abs * 1e6; // hopefully loose enough to violate it
+    // Ensure hi actually violates; otherwise the oracle reads ~nothing.
+    for _ in 0..40 {
+        let plan = c.plan_theory(hi);
+        let err = max_abs_error(field.data(), c.retrieve(&plan).data());
+        if err > abs {
+            break;
+        }
+        lo = hi;
+        hi *= 8.0;
+    }
+    for _ in 0..18 {
+        let mid = (lo.ln() * 0.5 + hi.ln() * 0.5).exp();
+        let plan = c.plan_theory(mid);
+        let err = max_abs_error(field.data(), c.retrieve(&plan).data());
+        if err <= abs {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    c.retrieved_bytes(&c.plan_theory(lo))
+}
+
+fn main() {
+    let size = bench_size();
+    let ts = bench_timesteps();
+    let t = ts / 2;
+    let cfg = datasets::warpx_cfg(size, ts);
+
+    let mut rows = Vec::new();
+    for wf in [WarpXField::Bx, WarpXField::Ex] {
+        let field = datasets::warpx(&cfg, wf, t);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        for &rel in &setup::sparse_rel_bounds() {
+            let abs = c.absolute_bound(rel);
+            let achieved = c.retrieved_bytes(&c.plan_theory(abs));
+            let requested = oracle_bytes(&field, &c, abs);
+            let overhead = if requested > 0 {
+                achieved as f64 / requested as f64
+            } else {
+                f64::INFINITY
+            };
+            rows.push(vec![
+                field.name().to_string(),
+                sci(rel),
+                human_bytes(requested),
+                human_bytes(achieved),
+                if overhead.is_finite() { format!("{overhead:.2}x") } else { "inf".into() },
+            ]);
+        }
+    }
+
+    output::print_table(
+        &format!("Fig 1: I/O cost, requested tolerance vs over-pessimistic estimation (t={t})"),
+        &["field", "rel_bound", "requested_io", "achieved_io", "overhead"],
+        &rows,
+    );
+    output::write_csv(
+        "fig01_io_cost.csv",
+        &["field", "rel_bound", "requested_io", "achieved_io", "overhead"],
+        &rows,
+    );
+    println!("\nPaper: the achieved I/O cost is significantly higher than requested (Fig 1).");
+}

@@ -1,0 +1,147 @@
+//! Figure 5: MGARD retrieval behaviour across relative error bounds on the
+//! WarpX dataset — (a) the correlation matrix of per-level plane counts,
+//! (b) planes retrieved per level vs bound, (c) the per-level share of the
+//! retrieved bytes.
+//!
+//! Expected shape (paper): plane counts are strongly correlated across
+//! levels; the coarsest level (level_0) contributes the most planes; the
+//! finest level contributes the fewest planes but the largest share of the
+//! bytes except at the loosest bounds.
+
+use pmr_bench::{bench_size, bench_timesteps, datasets, output, sci};
+use pmr_core::standard_rel_bounds;
+use pmr_mgard::{CompressConfig, Compressed};
+use pmr_sim::WarpXField;
+
+/// Pearson correlation; `None` when either series is constant (at bench
+/// scale the cheapest coarse levels saturate at `B` planes for every bound
+/// — a scale artifact called out in EXPERIMENTS.md).
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+fn main() {
+    let size = bench_size();
+    let ts = bench_timesteps();
+    let ccfg = CompressConfig::default();
+    let base = datasets::warpx_cfg(size, ts);
+
+    // Collect plane counts across fields x timesteps x bounds. The sweep
+    // extends past the paper's loosest bound (to rel 1e+1): at bench scale
+    // the coarse levels are tiny enough that the greedy retriever saturates
+    // them everywhere inside [1e-9, 9e-1]; the looser tail is where their
+    // counts move (see EXPERIMENTS.md on scale artifacts).
+    let mut bounds = standard_rel_bounds();
+    for k in 0i32..=1 {
+        for m in 1..=9u32 {
+            bounds.push(m as f64 * 10f64.powi(k));
+        }
+    }
+    let mut per_level_series: Vec<Vec<f64>> = Vec::new();
+    let mut num_levels = 0;
+    for wf in WarpXField::all() {
+        for t in (0..ts).step_by((ts / 4).max(1)) {
+            let field = datasets::warpx(&base, wf, t);
+            let c = Compressed::compress(&field, &ccfg);
+            num_levels = c.num_levels();
+            if per_level_series.is_empty() {
+                per_level_series = vec![Vec::new(); num_levels];
+            }
+            for &rel in &bounds {
+                let plan = c.plan_theory(c.absolute_bound(rel));
+                for (l, &b) in plan.planes.iter().enumerate() {
+                    per_level_series[l].push(b as f64);
+                }
+            }
+        }
+    }
+
+    // (a) correlation matrix ("n/a" for saturated levels whose counts never
+    // move at this scale).
+    let mut rows_a = Vec::new();
+    for i in 0..num_levels {
+        let mut row = vec![format!("level_{i}")];
+        for j in 0..num_levels {
+            row.push(match pearson(&per_level_series[i], &per_level_series[j]) {
+                Some(r) => format!("{r:.3}"),
+                None => "n/a".to_string(),
+            });
+        }
+        rows_a.push(row);
+    }
+    let mut headers_a: Vec<String> = vec!["".to_string()];
+    headers_a.extend((0..num_levels).map(|l| format!("level_{l}")));
+    let headers_a_ref: Vec<&str> = headers_a.iter().map(String::as_str).collect();
+    output::print_table("Fig 5a: correlation matrix of per-level plane counts", &headers_a_ref, &rows_a);
+    output::write_csv("fig05a_correlation.csv", &headers_a_ref, &rows_a);
+    println!(
+        "  (n/a = level saturated at B planes across the whole sweep; at bench scale\n\
+         \u{20}  the coarsest levels cost a few bytes per plane, so the greedy retriever\n\
+         \u{20}  always fetches them fully — see EXPERIMENTS.md, scale artifacts)"
+    );
+
+    // (b) + (c): per-level planes and size share vs bound at t = ts/2.
+    let t = ts / 2;
+    let field = datasets::warpx(&base, WarpXField::Jx, t);
+    let c = Compressed::compress(&field, &ccfg);
+    let mut rows_b = Vec::new();
+    let mut rows_c = Vec::new();
+    for k in -9i32..=-1 {
+        let rel = 10f64.powi(k);
+        let plan = c.plan_theory(c.absolute_bound(rel));
+        let total: u64 = c.retrieved_bytes(&plan);
+        let mut row_b = vec![sci(rel)];
+        let mut row_c = vec![sci(rel)];
+        for (l, (&b, lvl)) in plan.planes.iter().zip(c.levels()).enumerate() {
+            row_b.push(b.to_string());
+            let share = if total > 0 {
+                lvl.size_of_first(plan.planes[l]) as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            };
+            row_c.push(format!("{share:.1}%"));
+        }
+        rows_b.push(row_b);
+        rows_c.push(row_c);
+    }
+    let mut headers_bc: Vec<String> = vec!["rel_bound".to_string()];
+    headers_bc.extend((0..num_levels).map(|l| format!("level_{l}")));
+    let headers_bc_ref: Vec<&str> = headers_bc.iter().map(String::as_str).collect();
+    output::print_table(
+        &format!("Fig 5b: planes retrieved per level vs bound (J_x, t={t})"),
+        &headers_bc_ref,
+        &rows_b,
+    );
+    output::write_csv("fig05b_planes_per_level.csv", &headers_bc_ref, &rows_b);
+    output::print_table(
+        &format!("Fig 5c: retrieval size share per level vs bound (J_x, t={t})"),
+        &headers_bc_ref,
+        &rows_c,
+    );
+    output::write_csv("fig05c_size_share.csv", &headers_bc_ref, &rows_c);
+
+    // Shape checks mirroring the paper's observations.
+    let tight = c.plan_theory(c.absolute_bound(1e-9));
+    assert!(
+        tight.planes[0] >= tight.planes[num_levels - 1],
+        "coarsest level should contribute at least as many planes as the finest"
+    );
+    println!(
+        "\nPaper: level_0 (coarsest) contributes the most planes; the finest level\n\
+         holds the largest byte share at all but the loosest bounds."
+    );
+}

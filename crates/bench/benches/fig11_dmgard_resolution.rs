@@ -1,0 +1,54 @@
+//! Figure 11: D-MGARD across data resolutions.
+//!
+//! Paper: train on 64^3 `J_x`, test on 128^3 and 256^3; accuracy holds at
+//! 2x the training resolution and degrades at 4x. Scaled here: train 17^3,
+//! test 33^3 and 49^3 (same 2x / ~3x ratios, same 5-level hierarchy).
+
+use pmr_bench::{bench_timesteps, datasets, setup};
+use pmr_core::experiment::{dmgard_prediction_errors, train_models};
+use pmr_sim::WarpXField;
+
+fn main() {
+    let ts = bench_timesteps();
+    let train_size = 17usize;
+    let test_sizes = [17usize, 33, 49];
+    let cfg = setup::experiment_config();
+
+    println!("Training D-MGARD on J_x at {train_size}^3...");
+    let wcfg_train = datasets::warpx_cfg(train_size, ts);
+    let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg_train, WarpXField::Jx, t));
+    let (mut models, _) = train_models(train_fields, &cfg);
+
+    let mut within1 = Vec::new();
+    for &size in &test_sizes {
+        let wcfg = datasets::warpx_cfg(size, ts);
+        let mut records = Vec::new();
+        for t in (ts / 2..ts).step_by(2) {
+            let field = datasets::warpx(&wcfg, WarpXField::Jx, t);
+            records.extend(setup::records_for(&field, &cfg));
+        }
+        let per_level = dmgard_prediction_errors(&records, &mut models.dmgard);
+        let w1 = setup::report_prediction_errors(
+            &format!("Fig 11: D-MGARD trained at {train_size}^3, tested at {size}^3"),
+            &format!("fig11_dmgard_resolution_{size}.csv"),
+            &per_level,
+        );
+        within1.push((size, w1));
+    }
+
+    println!("\nWithin-plus/minus-1-plane fraction by test resolution:");
+    for (size, w1) in &within1 {
+        println!("  {size}^3: {:.1}%", w1 * 100.0);
+    }
+    println!(
+        "Paper: accuracy holds at 2x the training resolution and drops significantly\n\
+         beyond, as higher resolutions manifest local features the model never saw."
+    );
+    // Shape check: same-resolution accuracy should be the best of the set.
+    let same = within1[0].1;
+    let far = within1.last().unwrap().1;
+    assert!(
+        same >= far - 0.05,
+        "expected accuracy to be no worse at the training resolution (same={same:.2} far={far:.2})"
+    );
+}

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the pipeline components: decomposition,
+//! recomposition, bit-plane encoding, greedy planning, retrieval, and the
+//! neural-network forward/training steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmr_core::emgard::level_signature;
+use pmr_field::{Field, Shape};
+use pmr_mgard::{CompressConfig, Compressed, Decomposer, LevelEncoding, TransformMode};
+use pmr_nn::{Activation, Dataset, Matrix, Mlp, TrainConfig};
+use std::hint::black_box;
+
+fn test_field(n: usize) -> Field {
+    Field::from_fn("bench", 0, Shape::cube(n), |x, y, z| {
+        ((x as f64) * 0.31).sin() * ((y as f64) * 0.17).cos() + ((z as f64) * 0.05).sin()
+    })
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let field = test_field(33);
+    let dec = Decomposer::new(field.shape(), 5, TransformMode::L2Projection);
+    c.bench_function("decompose_33cube_l2", |b| {
+        b.iter(|| {
+            let mut data = field.data().to_vec();
+            dec.decompose(black_box(&mut data));
+            data
+        })
+    });
+    let mut coeffs = field.data().to_vec();
+    dec.decompose(&mut coeffs);
+    c.bench_function("recompose_33cube_l2", |b| {
+        b.iter(|| {
+            let mut data = coeffs.clone();
+            dec.recompose(black_box(&mut data));
+            data
+        })
+    });
+}
+
+fn bench_bitplane(c: &mut Criterion) {
+    let field = test_field(33);
+    let dec = Decomposer::new(field.shape(), 5, TransformMode::L2Projection);
+    let mut data = field.data().to_vec();
+    dec.decompose(&mut data);
+    let levels = dec.interleave(&data);
+    let finest = levels.last().unwrap().clone();
+    c.bench_function("bitplane_encode_finest_level", |b| {
+        b.iter(|| LevelEncoding::encode(black_box(&finest), 32))
+    });
+    let enc = LevelEncoding::encode(&finest, 32);
+    c.bench_function("bitplane_decode_16_planes", |b| b.iter(|| enc.decode(black_box(16))));
+    c.bench_function("level_signature", |b| b.iter(|| level_signature(black_box(&finest))));
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let field = test_field(33);
+    let compressed = Compressed::compress(&field, &CompressConfig::default());
+    c.bench_function("compress_33cube", |b| {
+        b.iter(|| Compressed::compress(black_box(&field), &CompressConfig::default()))
+    });
+    let abs = compressed.absolute_bound(1e-5);
+    c.bench_function("greedy_plan_1e-5", |b| {
+        b.iter(|| compressed.plan_theory(black_box(abs)))
+    });
+    let plan = compressed.plan_theory(abs);
+    c.bench_function("retrieve_1e-5", |b| b.iter(|| compressed.retrieve(black_box(&plan))));
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut mlp = Mlp::new(
+        &[11, 48, 48, 48, 48, 48, 48, 1],
+        Activation::LeakyRelu(0.01),
+        Activation::Identity,
+        0,
+    );
+    let x = Matrix::from_vec(256, 11, (0..256 * 11).map(|i| (i as f32 * 0.01).sin()).collect());
+    c.bench_function("mlp_forward_batch256", |b| b.iter(|| mlp.forward(black_box(&x))));
+
+    let y = Matrix::from_vec(256, 1, (0..256).map(|i| (i % 30) as f32).collect());
+    let data = Dataset::new(x.clone(), y);
+    c.bench_function("mlp_train_epoch_batch256", |b| {
+        b.iter(|| {
+            let mut m = mlp.clone();
+            let cfg = TrainConfig { epochs: 1, batch_size: 256, lr: 1e-3, ..Default::default() };
+            pmr_nn::fit(&mut m, &data, &cfg)
+        })
+    });
+}
+
+criterion_group!(benches, bench_transform, bench_bitplane, bench_retrieval, bench_nn);
+criterion_main!(benches);

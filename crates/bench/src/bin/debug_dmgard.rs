@@ -1,0 +1,48 @@
+//! Scratch diagnostic for D-MGARD level-4 accuracy (not part of the bench
+//! suite): inspects the err->b4 mapping and the model's fit on train vs
+//! test records.
+
+use pmr_bench::{bench_size, bench_timesteps, datasets, setup};
+use pmr_core::experiment::train_models;
+use pmr_sim::WarpXField;
+
+fn main() {
+    let size = bench_size();
+    let ts = bench_timesteps();
+    let wcfg = datasets::warpx_cfg(size, ts);
+    let cfg = setup::experiment_config();
+
+    let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg, WarpXField::Jx, t));
+    let (mut models, train_records) = train_models(train_fields, &cfg);
+
+    // Fit quality on the training records themselves.
+    let mut train_hits = 0usize;
+    for r in &train_records {
+        let p = models.dmgard.predict(&r.features, r.achieved_err);
+        if (p[4] as i64 - r.planes[4] as i64).abs() <= 1 {
+            train_hits += 1;
+        }
+    }
+    println!(
+        "train within-1 on level 4: {:.1}% ({} records)",
+        train_hits as f64 / train_records.len() as f64 * 100.0,
+        train_records.len()
+    );
+
+    // Show the mapping for one train timestep and one test timestep.
+    for (label, t) in [("train t=4", 4usize), ("test t=20", 20)] {
+        let field = datasets::warpx(&wcfg, WarpXField::Jx, t);
+        let recs = setup::records_for(&field, &cfg);
+        println!("\n{label}: rel_bound  log10(err)  b4_actual  b4_pred");
+        for r in recs.iter().step_by(9) {
+            let p = models.dmgard.predict(&r.features, r.achieved_err);
+            println!(
+                "  {:>9.0e}  {:>9.2}  {:>9}  {:>7}",
+                r.rel_bound,
+                r.achieved_err.max(1e-16).log10(),
+                r.planes[4],
+                p[4]
+            );
+        }
+    }
+}

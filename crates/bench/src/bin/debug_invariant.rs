@@ -1,0 +1,36 @@
+//! Diagnostics: per-timestep D-MGARD predictions on B_x vs J_x, and the
+//! invariant-stat ranges.
+use pmr_bench::{bench_size, bench_timesteps, datasets, setup};
+use pmr_core::experiment::train_models;
+use pmr_core::features;
+use pmr_mgard::Compressed;
+use pmr_sim::WarpXField;
+
+fn main() {
+    let size = bench_size();
+    let ts = bench_timesteps();
+    let wcfg = datasets::warpx_cfg(size, ts);
+    let cfg = setup::experiment_config();
+    let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg, WarpXField::Jx, t));
+    let (mut models, _) = train_models(train_fields, &cfg);
+
+    for wf in [WarpXField::Jx, WarpXField::Bx] {
+        println!("\n=== {} per timestep at rel 1e-4 / 1e-2 ===", wf.field_name());
+        for t in (0..ts).step_by(4) {
+            let field = datasets::warpx(&wcfg, wf, t);
+            let c = Compressed::compress(&field, &cfg.compress);
+            let feats = features::retrieval_features(&field, &c);
+            let inv = features::invariant_stats(&feats);
+            let recs = pmr_core::collect_records(&field, &c, &[1e-4, 1e-2]);
+            let mut line = format!(
+                "t={t:>2} skew={:>6.2} kurt={:>7.2} ac={:>5.2} s4={:>8.2e} |",
+                inv[0], inv[1], inv[2], 10f32.powf(feats[features::NUM_BASE_FEATURES + 4])
+            );
+            for r in &recs {
+                let p = models.dmgard.predict(&r.features, r.achieved_err);
+                line += &format!("  b4 act={:>2} pred={:>2}", r.planes[4], p[4]);
+            }
+            println!("{line}");
+        }
+    }
+}

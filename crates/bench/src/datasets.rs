@@ -1,0 +1,28 @@
+//! Scaled dataset configurations shared by all benches.
+
+use pmr_sim::{DatasetCache, GrayScottConfig, GsSpecies, WarpXConfig, WarpXField};
+
+/// WarpX-synthetic configuration at the bench scale.
+pub fn warpx_cfg(size: usize, snapshots: usize) -> WarpXConfig {
+    WarpXConfig { size, snapshots, ..Default::default() }
+}
+
+/// Gray-Scott configuration at the bench scale.
+pub fn grayscott_cfg(size: usize, snapshots: usize) -> GrayScottConfig {
+    GrayScottConfig { size, snapshots, ..Default::default() }
+}
+
+/// The shared on-disk cache for generated snapshots.
+pub fn cache() -> DatasetCache {
+    DatasetCache::default_cache()
+}
+
+/// Convenience: a WarpX snapshot via the cache.
+pub fn warpx(cfg: &WarpXConfig, field: WarpXField, t: usize) -> pmr_field::Field {
+    cache().warpx(cfg, field, t)
+}
+
+/// Convenience: a Gray-Scott snapshot via the cache.
+pub fn grayscott(cfg: &GrayScottConfig, species: GsSpecies, t: usize) -> pmr_field::Field {
+    cache().gray_scott(cfg, species, t)
+}

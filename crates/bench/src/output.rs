@@ -1,0 +1,79 @@
+//! Table printing and CSV export for the figure benches.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Where CSVs land (env `PMR_RESULTS_DIR`, default `<workspace>/results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("PMR_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        // Benches run with CWD = crates/bench; anchor on the manifest so
+        // results collect at the workspace root regardless of invocation.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+    })
+}
+
+/// Write one CSV file under the results directory.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    let mut out = match fs::File::create(&path) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            return;
+        }
+    };
+    let _ = writeln!(out, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    let _ = out.flush();
+    println!("[csv] {}", path.display());
+}
+
+/// Print an aligned table with a title line.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (c, w) in cells.iter().zip(&widths) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        s
+    };
+    println!("{}", line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// A histogram of signed integer prediction errors rendered as the
+/// fraction of predictions per bucket (the y-axis of paper Figs. 9–11).
+pub fn error_histogram(errors: &[i64]) -> Vec<(i64, f64)> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+    for &e in errors {
+        *counts.entry(e.clamp(-5, 5)).or_default() += 1;
+    }
+    let n = errors.len().max(1) as f64;
+    counts.into_iter().map(|(k, v)| (k, v as f64 / n)).collect()
+}
+
+/// Fraction of errors with |e| <= k.
+pub fn fraction_within(errors: &[i64], k: i64) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    errors.iter().filter(|e| e.abs() <= k).count() as f64 / errors.len() as f64
+}

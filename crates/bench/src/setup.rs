@@ -1,0 +1,82 @@
+//! Common experiment setup used by the DNN benches.
+
+use pmr_core::experiment::ExperimentConfig;
+use pmr_core::{DMgardConfig, EMgardConfig};
+use pmr_mgard::CompressConfig;
+use pmr_nn::{Loss, TrainConfig};
+
+/// Bench-scale experiment configuration: the paper's pipeline with network
+/// widths and epoch counts tuned for CPU wall-clock. Architecture shape
+/// (six hidden CMOR layers, leaky ReLU, Huber(1), encoder depth with 8-wide
+/// latent) matches the paper.
+pub fn experiment_config() -> ExperimentConfig {
+    ExperimentConfig {
+        compress: CompressConfig::default(),
+        dmgard: DMgardConfig {
+            hidden: vec![48, 48, 48, 48, 48, 48],
+            leaky_slope: 0.01,
+            train: TrainConfig {
+                epochs: 90,
+                batch_size: 128,
+                lr: 1.5e-3,
+                loss: Loss::Huber(1.0),
+                seed: 17,
+            },
+            chained: true,
+            use_stat_features: false,
+        },
+        emgard: EMgardConfig {
+            hidden: vec![128, 32, 8],
+            epochs: 120,
+            batch_size: 64,
+            lr: 3e-3,
+            huber_delta: 1.0,
+            samples_per_artifact: 20,
+            seed: 23,
+        },
+        train_bounds: pmr_core::standard_rel_bounds(),
+    }
+}
+
+/// Subsample of the 81 bounds used where a fig only needs a sweep shape.
+pub fn sparse_rel_bounds() -> Vec<f64> {
+    (-9i32..=-1).flat_map(|k| [1.0, 3.0].map(|m| m * 10f64.powi(k))).collect()
+}
+
+/// Harvest theory-retrieval records for one snapshot (compress + sweep the
+/// configured bounds).
+pub fn records_for(
+    field: &pmr_field::Field,
+    cfg: &ExperimentConfig,
+) -> Vec<pmr_core::RetrievalRecord> {
+    let c = pmr_mgard::Compressed::compress(field, &cfg.compress);
+    pmr_core::collect_records(field, &c, &cfg.train_bounds)
+}
+
+/// Print and export a per-level prediction-error distribution in the style
+/// of paper Figs. 9–11. Returns the fraction of predictions within ±1
+/// plane, aggregated over all levels.
+pub fn report_prediction_errors(
+    title: &str,
+    csv_name: &str,
+    per_level: &[Vec<i64>],
+) -> f64 {
+    use crate::output;
+    let mut rows = Vec::new();
+    for (l, errs) in per_level.iter().enumerate() {
+        for (bucket, frac) in output::error_histogram(errs) {
+            rows.push(vec![
+                format!("level_{l}"),
+                bucket.to_string(),
+                format!("{:.4}", frac),
+            ]);
+        }
+    }
+    output::print_table(title, &["level", "pred_error(planes)", "fraction"], &rows);
+    output::write_csv(csv_name, &["level", "pred_error", "fraction"], &rows);
+    let all: Vec<i64> = per_level.iter().flatten().copied().collect();
+    let w0 = output::fraction_within(&all, 0);
+    let w1 = output::fraction_within(&all, 1);
+    println!("  exact: {:.1}%   within +/-1 plane: {:.1}%", w0 * 100.0, w1 * 100.0);
+    w1
+}

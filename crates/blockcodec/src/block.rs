@@ -1,0 +1,155 @@
+//! 4×4×4 block partitioning with edge padding.
+
+use pmr_field::Shape;
+
+/// Side length of a block.
+pub const BLOCK: usize = 4;
+/// Values per block.
+pub const BLOCK_LEN: usize = BLOCK * BLOCK * BLOCK;
+
+/// Number of blocks along each dimension for `shape`.
+pub fn block_grid(shape: Shape) -> [usize; 3] {
+    [
+        shape.dim(0).div_ceil(BLOCK),
+        shape.dim(1).div_ceil(BLOCK),
+        shape.dim(2).div_ceil(BLOCK),
+    ]
+}
+
+/// Total number of blocks for `shape`.
+pub fn num_blocks(shape: Shape) -> usize {
+    let g = block_grid(shape);
+    g[0] * g[1] * g[2]
+}
+
+/// Gather the block at block-coordinates `(bx, by, bz)` into `out`
+/// (length [`BLOCK_LEN`]). Out-of-range samples replicate the nearest
+/// in-range sample, which keeps edge blocks smooth (ZFP pads similarly).
+pub fn gather(data: &[f64], shape: Shape, bx: usize, by: usize, bz: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), BLOCK_LEN);
+    let clamp = |v: usize, n: usize| v.min(n - 1);
+    let mut i = 0;
+    for dz in 0..BLOCK {
+        let z = clamp(bz * BLOCK + dz, shape.dim(2));
+        for dy in 0..BLOCK {
+            let y = clamp(by * BLOCK + dy, shape.dim(1));
+            for dx in 0..BLOCK {
+                let x = clamp(bx * BLOCK + dx, shape.dim(0));
+                out[i] = data[shape.index(x, y, z)];
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Scatter a block back; padded (out-of-range) samples are dropped.
+pub fn scatter(data: &mut [f64], shape: Shape, bx: usize, by: usize, bz: usize, block: &[f64]) {
+    debug_assert_eq!(block.len(), BLOCK_LEN);
+    let mut i = 0;
+    for dz in 0..BLOCK {
+        let z = bz * BLOCK + dz;
+        for dy in 0..BLOCK {
+            let y = by * BLOCK + dy;
+            for dx in 0..BLOCK {
+                let x = bx * BLOCK + dx;
+                if x < shape.dim(0) && y < shape.dim(1) && z < shape.dim(2) {
+                    data[shape.index(x, y, z)] = block[i];
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// The frequency group (0..=9) of the intra-block coefficient at
+/// `(i, j, k)` after the separable transform: the sum of per-axis levels.
+/// Lower groups carry the large, smooth content; ordering coefficients by
+/// group clusters magnitudes for the bit-plane coder.
+pub fn frequency_group(i: usize, j: usize, k: usize) -> usize {
+    // After the two-level lifting, index 0 is the average, 1 the
+    // coarse detail, 2 and 3 the fine details.
+    let level = |v: usize| match v {
+        0 => 0,
+        1 => 1,
+        _ => 2,
+    };
+    level(i) + level(j) + level(k)
+}
+
+/// Intra-block coefficient order sorted by [`frequency_group`] (stable by
+/// linear index within a group). Length [`BLOCK_LEN`].
+pub fn coefficient_order() -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..BLOCK_LEN).collect();
+    idx.sort_by_key(|&n| {
+        let i = n % BLOCK;
+        let j = (n / BLOCK) % BLOCK;
+        let k = n / (BLOCK * BLOCK);
+        (frequency_group(i, j, k), n)
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        assert_eq!(block_grid(Shape::cube(8)), [2, 2, 2]);
+        assert_eq!(block_grid(Shape::cube(9)), [3, 3, 3]);
+        assert_eq!(block_grid(Shape::d3(4, 5, 1)), [1, 2, 1]);
+        assert_eq!(num_blocks(Shape::cube(9)), 27);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_interior() {
+        let shape = Shape::cube(8);
+        let data: Vec<f64> = (0..shape.len()).map(|i| i as f64).collect();
+        let mut block = [0.0; BLOCK_LEN];
+        gather(&data, shape, 1, 0, 1, &mut block);
+        let mut out = vec![0.0; shape.len()];
+        scatter(&mut out, shape, 1, 0, 1, &block);
+        for z in 4..8 {
+            for y in 0..4 {
+                for x in 4..8 {
+                    assert_eq!(out[shape.index(x, y, z)], data[shape.index(x, y, z)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_blocks_pad_by_replication() {
+        let shape = Shape::d3(5, 4, 4);
+        let data: Vec<f64> = (0..shape.len()).map(|i| i as f64).collect();
+        let mut block = [0.0; BLOCK_LEN];
+        gather(&data, shape, 1, 0, 0, &mut block); // covers x = 4..8, only x=4 real
+        // All x-positions in the padded block replicate x = 4.
+        for dz in 0..BLOCK {
+            for dy in 0..BLOCK {
+                let base = block[dz * 16 + dy * 4];
+                for dx in 1..BLOCK {
+                    assert_eq!(block[dz * 16 + dy * 4 + dx], base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coefficient_order_is_a_permutation_grouped_by_frequency() {
+        let order = coefficient_order();
+        let mut seen = [false; BLOCK_LEN];
+        let mut prev_group = 0;
+        for &n in &order {
+            assert!(!seen[n]);
+            seen[n] = true;
+            let (i, j, k) = (n % 4, (n / 4) % 4, n / 16);
+            let g = frequency_group(i, j, k);
+            assert!(g >= prev_group, "order must be non-decreasing in group");
+            prev_group = g;
+        }
+        assert!(seen.iter().all(|&b| b));
+        // The DC coefficient comes first.
+        assert_eq!(order[0], 0);
+    }
+}

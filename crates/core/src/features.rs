@@ -1,0 +1,133 @@
+//! Feature engineering shared by the DNN models.
+//!
+//! D-MGARD takes "a set of statistical data features" `F` plus the achieved
+//! maximum error as input (paper §III-C). The base feature vector is the
+//! [`pmr_field::FieldStats`] summary; the error enters in `log10` because
+//! bounds span nine decades.
+//!
+//! Deliberately *not* a feature: the raw timestep. The evaluation protocol
+//! trains on early timesteps and tests on late ones, so a time input would
+//! always be extrapolated outside its training range — the statistics that
+//! drift with the simulation carry the same signal without that failure
+//! mode (and match the paper, which lists only statistical features).
+
+use pmr_field::{Field, FieldStats};
+use pmr_mgard::Compressed;
+
+/// Number of base features: the [`FieldStats`] summary plus three
+/// log-scale features.
+pub const NUM_BASE_FEATURES: usize = 12;
+
+/// Floor applied before `log10` so exact reconstructions stay finite.
+pub const ERR_FLOOR: f64 = 1e-16;
+
+/// Base feature vector of a field snapshot.
+pub fn base_features(field: &Field) -> Vec<f32> {
+    features_from_stats(&FieldStats::compute(field))
+}
+
+/// Same as [`base_features`] when the stats are already available.
+///
+/// The raw statistics are augmented with `log10(range)`, `log10(std)` and
+/// `log10(max |v|)`: the number of bit-planes needed for an absolute bound
+/// is essentially `log(scale) − log(err)`, so giving the network the scale
+/// in log space lets it extrapolate across the amplitude drift between
+/// training and test timesteps.
+pub fn features_from_stats(stats: &FieldStats) -> Vec<f32> {
+    let mut f: Vec<f32> = stats.to_features().iter().map(|&v| v as f32).collect();
+    f.push(log_err(stats.range()));
+    f.push(log_err(stats.std));
+    f.push(log_err(stats.max.abs().max(stats.min.abs())));
+    debug_assert_eq!(f.len(), NUM_BASE_FEATURES);
+    f
+}
+
+/// `log10` of an error value, floored for numerical safety.
+pub fn log_err(err: f64) -> f32 {
+    err.max(ERR_FLOOR).log10() as f32
+}
+
+/// The full retrieval feature vector: [`base_features`] plus the log
+/// magnitude of every coefficient level (`log10(Err[l][0])`).
+///
+/// The per-level magnitudes are *artifact metadata*: `Err[l][0]` is the
+/// head of the collected error matrix, available before a single plane is
+/// fetched. They tell the models how the field's energy is distributed
+/// across the hierarchy — the signal that lets one trained model transfer
+/// across fields whose spectral content differs (e.g. train on `J_x`,
+/// predict for `B_x`/`E_x`, paper Fig. 9).
+pub fn retrieval_features(field: &Field, compressed: &Compressed) -> Vec<f32> {
+    let mut f = base_features(field);
+    for lvl in compressed.levels() {
+        f.push(log_err(lvl.error_at(0)));
+    }
+    f
+}
+
+/// The scale-invariant subset of [`base_features`] used as direct model
+/// inputs: skewness, kurtosis and lag-1 autocorrelation.
+///
+/// Absolute-scale statistics (min/max/range/std/…) are deliberately kept
+/// *out* of the network inputs: within one training field they are nearly
+/// constant, so the network attaches arbitrary weights to them and
+/// extrapolates wildly when asked to plan for a different field (paper
+/// protocol: train on `J_x`, predict for `B_x`/`E_x`). All scale
+/// information the plane count actually depends on enters through the
+/// relative error input of [`chain_input`].
+pub fn invariant_stats(base: &[f32]) -> [f32; 3] {
+    debug_assert!(base.len() >= NUM_BASE_FEATURES);
+    // Indices into FieldStats::to_features(): 5 = skewness, 6 = kurtosis,
+    // 8 = lag-1 autocorrelation.
+    [base[5], base[6], base[8]]
+}
+
+/// Input vector of the level-`l` CMOR model:
+/// `invariant stats ++ [log10(err), log10(err) − log10(Err[l][0])] ++ [b_0, …, b_{l-1}]`.
+///
+/// The second error input is the requested error *relative to the level's
+/// coefficient magnitude* — the quantity the plane count actually tracks
+/// (`b_l ≈ −log2(err / Err[l][0]) / decay`). Feeding the ratio instead of
+/// two absolute values keeps the model on an interpolated input range when
+/// it is applied to fields whose absolute scales it never saw in training.
+pub fn chain_input(
+    stats: &[f32],
+    err: f64,
+    level_scale_log: f32,
+    previous_planes: &[f32],
+) -> Vec<f32> {
+    let mut x = Vec::with_capacity(stats.len() + 2 + previous_planes.len());
+    x.extend_from_slice(stats);
+    let le = log_err(err);
+    x.push(le);
+    x.push(le - level_scale_log);
+    x.extend_from_slice(previous_planes);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_field::Shape;
+
+    #[test]
+    fn base_features_dimension() {
+        let field = Field::from_fn("f", 3, Shape::cube(5), |x, y, z| (x + y + z) as f64);
+        let f = base_features(&field);
+        assert_eq!(f.len(), NUM_BASE_FEATURES);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_err_floors_zero() {
+        assert!(log_err(0.0).is_finite());
+        assert_eq!(log_err(1.0), 0.0);
+        assert_eq!(log_err(1e-3), -3.0);
+    }
+
+    #[test]
+    fn chain_input_layout() {
+        let stats = vec![1.0f32, 2.0];
+        let x = chain_input(&stats, 0.01, -1.0, &[5.0, 7.0]);
+        assert_eq!(x, vec![1.0, 2.0, -2.0, -1.0, 5.0, 7.0]);
+    }
+}

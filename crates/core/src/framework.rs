@@ -1,0 +1,108 @@
+//! The unified retrieval framework (paper Fig. 4): one interface over the
+//! theory-based baseline and the two DNN retrievers.
+
+use crate::dmgard::DMgard;
+use crate::emgard::EMgard;
+use pmr_field::{error, Field};
+use pmr_mgard::{Compressed, RetrievalPlan};
+use serde::{Deserialize, Serialize};
+
+/// Everything a retriever may consult when planning: the compressed
+/// artifact and the snapshot's base feature vector (stored as metadata at
+/// compression time in a production deployment).
+pub struct RetrievalContext<'a> {
+    pub compressed: &'a Compressed,
+    pub features: &'a [f32],
+}
+
+/// A retrieval strategy.
+pub enum AnyRetriever {
+    /// Original MGARD: theory constants + greedy retriever.
+    Theory,
+    /// D-MGARD: predicted plane counts, no estimator, no greedy search.
+    DMgard(DMgard),
+    /// E-MGARD: learned constants + the original greedy retriever.
+    EMgard(EMgard),
+    /// Combined (paper future work): D-MGARD initialises the plan,
+    /// E-MGARD's learned estimate grows/sheds planes to meet the bound.
+    Combined(DMgard, EMgard),
+}
+
+impl AnyRetriever {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyRetriever::Theory => "MGARD",
+            AnyRetriever::DMgard(_) => "D-MGARD",
+            AnyRetriever::EMgard(_) => "E-MGARD",
+            AnyRetriever::Combined(..) => "DE-MGARD",
+        }
+    }
+
+    /// Produce the plane counts for a requested absolute error bound.
+    pub fn plan(&mut self, ctx: &RetrievalContext<'_>, abs_bound: f64) -> RetrievalPlan {
+        match self {
+            AnyRetriever::Theory => ctx.compressed.plan_theory(abs_bound),
+            AnyRetriever::DMgard(m) => m.predict_plan(ctx.features, abs_bound),
+            AnyRetriever::EMgard(m) => m.plan(ctx.compressed, abs_bound),
+            AnyRetriever::Combined(d, e) => {
+                let initial = d.predict(ctx.features, abs_bound);
+                let constants = e.predict_constants(ctx.compressed);
+                pmr_mgard::retrieve::refine_plan(
+                    ctx.compressed.levels(),
+                    &constants,
+                    abs_bound,
+                    &initial,
+                )
+            }
+        }
+    }
+}
+
+/// The measured result of executing a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalOutcome {
+    pub planes: Vec<u32>,
+    /// Bytes fetched (Equation 1).
+    pub bytes: u64,
+    /// Actual max absolute error of the reconstruction.
+    pub achieved_err: f64,
+    /// PSNR of the reconstruction.
+    pub psnr: f64,
+}
+
+/// Execute `plan` against `compressed` and measure against `original`.
+pub fn execute(original: &Field, compressed: &Compressed, plan: &RetrievalPlan) -> RetrievalOutcome {
+    let rec = compressed.retrieve(plan);
+    RetrievalOutcome {
+        planes: plan.planes.clone(),
+        bytes: compressed.retrieved_bytes(plan),
+        achieved_err: error::max_abs_error(original.data(), rec.data()),
+        psnr: error::psnr(original.data(), rec.data()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::retrieval_features;
+    use pmr_field::Shape;
+    use pmr_mgard::CompressConfig;
+
+    #[test]
+    fn theory_retriever_end_to_end() {
+        let field = Field::from_fn("t", 0, Shape::cube(9), |x, y, _| {
+            ((x as f64) * 0.7).sin() + (y as f64) * 0.05
+        });
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let feats = retrieval_features(&field, &c);
+        let ctx = RetrievalContext { compressed: &c, features: &feats };
+        let mut r = AnyRetriever::Theory;
+        assert_eq!(r.name(), "MGARD");
+        let bound = c.absolute_bound(1e-3);
+        let plan = r.plan(&ctx, bound);
+        let outcome = execute(&field, &c, &plan);
+        assert!(outcome.achieved_err <= bound);
+        assert!(outcome.bytes > 0);
+        assert!(outcome.psnr > 20.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The paper's contribution: DNN-based progressive retrieval.
+//!
+//! Two models replace parts of the MGARD error-control path (paper Fig. 4):
+//!
+//! * [`dmgard::DMgard`] — **D-MGARD**, a chained multi-output regression
+//!   (CMOR) stack of per-level MLPs mapping
+//!   `(data features, achieved max error, b_0..b_{l-1}) → b_l`. It bypasses
+//!   the error estimator *and* the greedy retriever.
+//! * [`emgard::EMgard`] — **E-MGARD**, per-level encoder networks that
+//!   predict the mapping constants `C_l` of
+//!   `err ≈ Σ_l C_l · Err[l][b_l]`, replacing the single pessimistic theory
+//!   constant while keeping MGARD's greedy retriever.
+//!
+//! [`records`] harvests training data by running the theory-based retriever
+//! over the paper's 81 relative error bounds; [`framework`] wraps all three
+//! retrieval strategies behind one interface, and [`experiment`] orchestrates
+//! the train-on-early / test-on-late evaluation protocol of §IV.
+
+pub mod dmgard;
+pub mod emgard;
+pub mod experiment;
+pub mod features;
+pub mod framework;
+pub mod records;
+
+pub use dmgard::{DMgard, DMgardConfig};
+pub use emgard::{EMgard, EMgardConfig};
+pub use framework::{AnyRetriever, RetrievalContext, RetrievalOutcome};
+pub use records::{collect_records, standard_rel_bounds, RetrievalRecord};

@@ -1,0 +1,67 @@
+//! Property tests for the DNN retrieval layer.
+
+use pmr_core::emgard::{level_signature, SIG_DIM};
+use pmr_core::features;
+use pmr_core::{collect_records, DMgard, EMgard};
+use pmr_field::{Field, Shape};
+use pmr_mgard::{CompressConfig, Compressed};
+use proptest::prelude::*;
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    (4usize..9, any::<u64>(), 0usize..8).prop_map(|(n, seed, t)| {
+        Field::from_fn("p", t, Shape::cube(n), move |x, y, z| {
+            let h = ((x + 37 * y + 1009 * z) as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 8.0
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn signature_always_well_formed(coeffs in proptest::collection::vec(-1e12f64..1e12, 0..300)) {
+        let sig = level_signature(&coeffs);
+        prop_assert_eq!(sig.len(), SIG_DIM);
+        prop_assert!(sig.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn retrieval_features_are_finite(field in arb_field()) {
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let f = features::retrieval_features(&field, &c);
+        prop_assert_eq!(f.len(), features::NUM_BASE_FEATURES + c.num_levels());
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn records_always_respect_bounds(field in arb_field()) {
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let recs = collect_records(&field, &c, &[1e-5, 1e-3, 1e-1]);
+        for r in &recs {
+            prop_assert!(r.achieved_err <= r.abs_bound * (1.0 + 1e-12) ||
+                         // unreachable bounds (below quantization floor) fetch everything
+                         r.planes.iter().zip(c.levels()).all(|(&b, l)| b == l.num_planes()));
+            prop_assert!(r.retrieved_bytes <= c.total_bytes());
+        }
+    }
+
+    #[test]
+    fn dmgard_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = DMgard::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn emgard_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = EMgard::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn chain_input_is_total(err in 0f64..1e9, scale in -30f32..30.0, prev in proptest::collection::vec(0f32..32.0, 0..6)) {
+        let x = features::chain_input(&[], err, scale, &prev);
+        prop_assert_eq!(x.len(), 2 + prev.len());
+        prop_assert!(x.iter().all(|v| v.is_finite()));
+    }
+}

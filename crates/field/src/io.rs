@@ -1,0 +1,154 @@
+//! Compact binary on-disk format for generated fields.
+//!
+//! Simulated datasets are cached on disk so that benches, tests and examples
+//! do not regenerate them. The format is deliberately minimal:
+//!
+//! ```text
+//! magic  "PMRF1\0\0\0"                     8 bytes
+//! ndim   u32 LE                            4
+//! dims   3 x u32 LE                       12
+//! ts     u64 LE (timestep)                 8
+//! nlen   u32 LE (name byte length)         4
+//! name   nlen bytes UTF-8
+//! data   len x f64 LE
+//! ```
+
+use crate::field::Field;
+use crate::shape::Shape;
+use bytes::{Buf, BufMut};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PMRF1\0\0\0";
+
+/// Serialize a field into a byte buffer.
+pub fn to_bytes(field: &Field) -> Vec<u8> {
+    let shape = field.shape();
+    let name = field.name().as_bytes();
+    let mut buf = Vec::with_capacity(36 + name.len() + field.len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(shape.ndim() as u32);
+    for d in 0..3 {
+        buf.put_u32_le(shape.dim(d) as u32);
+    }
+    buf.put_u64_le(field.timestep() as u64);
+    buf.put_u32_le(name.len() as u32);
+    buf.put_slice(name);
+    for &v in field.data() {
+        buf.put_f64_le(v);
+    }
+    buf
+}
+
+/// Deserialize a field from a byte buffer produced by [`to_bytes`].
+pub fn from_bytes(mut buf: &[u8]) -> io::Result<Field> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if buf.len() < 36 {
+        return Err(bad("truncated header"));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let ndim = buf.get_u32_le() as usize;
+    let dx = buf.get_u32_le() as usize;
+    let dy = buf.get_u32_le() as usize;
+    let dz = buf.get_u32_le() as usize;
+    let shape = match ndim {
+        1 => Shape::d1(dx),
+        2 => Shape::d2(dx, dy),
+        3 => Shape::d3(dx, dy, dz),
+        _ => return Err(bad("bad ndim")),
+    };
+    let timestep = buf.get_u64_le() as usize;
+    let nlen = buf.get_u32_le() as usize;
+    if buf.len() < nlen {
+        return Err(bad("truncated name"));
+    }
+    let name = String::from_utf8(buf[..nlen].to_vec()).map_err(|_| bad("name not UTF-8"))?;
+    buf.advance(nlen);
+    if buf.len() != shape.len() * 8 {
+        return Err(bad("data length mismatch"));
+    }
+    let mut data = Vec::with_capacity(shape.len());
+    for _ in 0..shape.len() {
+        data.push(buf.get_f64_le());
+    }
+    Ok(Field::new(name, timestep, shape, data))
+}
+
+/// Write a field to `path`, creating parent directories as needed.
+pub fn save(field: &Field, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = io::BufWriter::new(fs::File::create(path)?);
+    f.write_all(&to_bytes(field))?;
+    f.flush()
+}
+
+/// Read a field previously written with [`save`].
+pub fn load(path: &Path) -> io::Result<Field> {
+    let mut buf = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Field {
+        Field::from_fn("J_x", 17, Shape::d3(3, 4, 2), |x, y, z| {
+            (x as f64) * 0.5 - (y as f64) + (z as f64) * 2.25
+        })
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let f = sample();
+        let rt = from_bytes(&to_bytes(&f)).unwrap();
+        assert_eq!(f, rt);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pmr_field_io_test");
+        let path = dir.join("nested/J_x_t17.pmrf");
+        let f = sample();
+        save(&f, &path).unwrap();
+        let rt = load(&path).unwrap();
+        assert_eq!(f, rt);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut b = to_bytes(&sample());
+        b[0] = b'X';
+        assert!(from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let b = to_bytes(&sample());
+        assert!(from_bytes(&b[..b.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn special_values_preserved() {
+        let f = Field::new(
+            "nan",
+            0,
+            Shape::d1(4),
+            vec![f64::NAN, f64::INFINITY, -0.0, 1e-308],
+        );
+        let rt = from_bytes(&to_bytes(&f)).unwrap();
+        assert!(rt.data()[0].is_nan());
+        assert_eq!(rt.data()[1], f64::INFINITY);
+        assert_eq!(rt.data()[2].to_bits(), (-0.0_f64).to_bits());
+        assert_eq!(rt.data()[3], 1e-308);
+    }
+}

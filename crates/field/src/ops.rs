@@ -1,0 +1,134 @@
+//! Field manipulation utilities: downsampling, slicing and region
+//! extraction.
+//!
+//! These are the operations post-hoc analyses perform on retrieved data —
+//! and what the resolution study (paper Fig. 11) needs to build matched
+//! multi-resolution datasets.
+
+use crate::field::Field;
+use crate::shape::Shape;
+
+/// Downsample by taking every `stride`-th point along each dimension
+/// (endpoints included when they fall on the stride grid).
+///
+/// A field of side `2^k + 1` downsampled by 2 gives side `2^(k-1) + 1`, so
+/// repeated halving matches the decomposition hierarchy.
+pub fn downsample(field: &Field, stride: usize) -> Field {
+    assert!(stride >= 1, "stride must be at least 1");
+    let s = field.shape();
+    let n = |d: usize| s.dim(d).div_ceil(stride);
+    let shape = match s.ndim() {
+        1 => Shape::d1(n(0)),
+        2 => Shape::d2(n(0), n(1)),
+        _ => Shape::d3(n(0), n(1), n(2)),
+    };
+    Field::from_fn(field.name(), field.timestep(), shape, |x, y, z| {
+        field.get(x * stride, y * stride, z * stride)
+    })
+}
+
+/// Extract the 2-D plane `z = z_index` of a 3-D field.
+pub fn slice_z(field: &Field, z_index: usize) -> Field {
+    let s = field.shape();
+    assert!(z_index < s.dim(2), "z index out of range");
+    let shape = Shape::d2(s.dim(0), s.dim(1));
+    Field::from_fn(field.name(), field.timestep(), shape, |x, y, _| {
+        field.get(x, y, z_index)
+    })
+}
+
+/// Extract the axis-aligned box `[lo, hi)` (per-dimension half-open).
+pub fn region(field: &Field, lo: [usize; 3], hi: [usize; 3]) -> Field {
+    let s = field.shape();
+    for d in 0..3 {
+        assert!(lo[d] < hi[d], "empty region in dimension {d}");
+        assert!(hi[d] <= s.dim(d), "region exceeds shape in dimension {d}");
+    }
+    let shape = match s.ndim() {
+        1 => Shape::d1(hi[0] - lo[0]),
+        2 => Shape::d2(hi[0] - lo[0], hi[1] - lo[1]),
+        _ => Shape::d3(hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]),
+    };
+    Field::from_fn(field.name(), field.timestep(), shape, |x, y, z| {
+        field.get(lo[0] + x, lo[1] + y, lo[2] + z)
+    })
+}
+
+/// Pointwise combination of two same-shape fields.
+pub fn zip_with(a: &Field, b: &Field, mut f: impl FnMut(f64, f64) -> f64) -> Field {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
+    Field::new(a.name(), a.timestep(), a.shape(), data)
+}
+
+/// The pointwise difference `a − b` (e.g. reconstruction error fields).
+pub fn difference(a: &Field, b: &Field) -> Field {
+    zip_with(a, b, |x, y| x - y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp3d() -> Field {
+        Field::from_fn("r", 1, Shape::d3(5, 4, 3), |x, y, z| {
+            x as f64 + 10.0 * y as f64 + 100.0 * z as f64
+        })
+    }
+
+    #[test]
+    fn downsample_keeps_strided_points() {
+        let f = ramp3d();
+        let d = downsample(&f, 2);
+        assert_eq!(d.shape().dims(), [3, 2, 2]);
+        assert_eq!(d.get(0, 0, 0), f.get(0, 0, 0));
+        assert_eq!(d.get(2, 1, 1), f.get(4, 2, 2));
+        assert_eq!(d.timestep(), 1);
+    }
+
+    #[test]
+    fn downsample_stride_one_is_identity() {
+        let f = ramp3d();
+        assert_eq!(downsample(&f, 1), f);
+    }
+
+    #[test]
+    fn dyadic_downsampling_matches_hierarchy() {
+        let f = Field::from_fn("h", 0, Shape::d1(17), |x, _, _| x as f64);
+        let d = downsample(&f, 2);
+        assert_eq!(d.len(), 9);
+        let dd = downsample(&d, 2);
+        assert_eq!(dd.len(), 5);
+    }
+
+    #[test]
+    fn slice_extracts_plane() {
+        let f = ramp3d();
+        let s = slice_z(&f, 2);
+        assert_eq!(s.shape().dims(), [5, 4, 1]);
+        assert_eq!(s.get(3, 1, 0), f.get(3, 1, 2));
+    }
+
+    #[test]
+    fn region_extracts_box() {
+        let f = ramp3d();
+        let r = region(&f, [1, 0, 1], [4, 2, 3]);
+        assert_eq!(r.shape().dims(), [3, 2, 2]);
+        assert_eq!(r.get(0, 0, 0), f.get(1, 0, 1));
+        assert_eq!(r.get(2, 1, 1), f.get(3, 1, 2));
+    }
+
+    #[test]
+    fn difference_is_zero_for_identical() {
+        let f = ramp3d();
+        let d = difference(&f, &f);
+        assert!(d.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds shape")]
+    fn oversized_region_rejected() {
+        let f = ramp3d();
+        let _ = region(&f, [0, 0, 0], [6, 1, 1]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for the field substrate.
+
+use pmr_field::{error, io, Field, FieldStats, Shape};
+use proptest::prelude::*;
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(nx, ny, nz)| {
+        let shape = Shape::d3(nx, ny, nz);
+        proptest::collection::vec(-1e6f64..1e6, shape.len())
+            .prop_map(move |data| Field::new("p", 0, shape, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn io_roundtrip(f in arb_field()) {
+        let rt = io::from_bytes(&io::to_bytes(&f)).unwrap();
+        prop_assert_eq!(f, rt);
+    }
+
+    #[test]
+    fn stats_are_finite_and_bounded(f in arb_field()) {
+        let s = FieldStats::compute(&f);
+        prop_assert!(s.to_features().iter().all(|v| v.is_finite()));
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        prop_assert!(s.autocorr >= -1.0 - 1e-6 && s.autocorr <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn max_error_bounds_rmse(f in arb_field(), noise in -1.0f64..1.0) {
+        let perturbed: Vec<f64> = f.data().iter().map(|v| v + noise).collect();
+        let max = error::max_abs_error(f.data(), &perturbed);
+        let rmse = error::rmse(f.data(), &perturbed);
+        prop_assert!(rmse <= max + 1e-12);
+        prop_assert!((max - noise.abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_index_bijective(nx in 1usize..8, ny in 1usize..8, nz in 1usize..8) {
+        let s = Shape::d3(nx, ny, nz);
+        let mut seen = vec![false; s.len()];
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = s.index(x, y, z);
+                    prop_assert!(!seen[i]);
+                    seen[i] = true;
+                    prop_assert_eq!(s.coords(i), (x, y, z));
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}

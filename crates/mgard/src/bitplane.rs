@@ -1,0 +1,349 @@
+//! Negabinary bit-plane encoding of one coefficient level, with the
+//! collected error matrix row.
+//!
+//! Coefficients are scaled by the level's max magnitude into fixed-point
+//! integers with `B - 2` fractional bits (so every quantized value fits in
+//! `B` negabinary digits), then sliced into `B` planes, most significant
+//! first. Each plane is bit-packed and run through the lossless stage;
+//! the compressed sizes are the `S[l][k]` of the paper's Equation 1.
+//!
+//! While encoding we also *collect* (not model) the error row
+//! `Err[b] = max_i |c_i − decode_b(c_i)|` for `b = 0..=B` — the per-level
+//! error matrix that both the theory estimator and E-MGARD consume.
+
+use pmr_codec::{
+    bitstream::{BitReader, BitWriter},
+    lossless, negabinary,
+};
+use serde::{Deserialize, Serialize};
+
+/// Default number of bit-planes per coefficient level (the paper's `B`).
+pub const DEFAULT_BITPLANES: u32 = 32;
+
+/// One coefficient level, encoded as progressive bit-planes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelEncoding {
+    /// Number of coefficients in the level.
+    count: usize,
+    /// Total number of planes `B`.
+    num_planes: u32,
+    /// Quantization step: `coefficient ≈ q * step`.
+    step: f64,
+    /// Losslessly compressed plane payloads, plane 0 = most significant.
+    planes: Vec<Vec<u8>>,
+    /// Collected error row: `error_row[b]` is the exact max absolute
+    /// coefficient error when only the first `b` planes are used
+    /// (length `B + 1`; `error_row[0]` = max |c|).
+    error_row: Vec<f64>,
+}
+
+impl LevelEncoding {
+    /// Encode `coeffs` into `num_planes` bit-planes (`3 <= num_planes <= 50`).
+    pub fn encode(coeffs: &[f64], num_planes: u32) -> Self {
+        assert!((3..=50).contains(&num_planes), "num_planes out of range");
+        let b = num_planes;
+        let max_abs = coeffs.iter().fold(0.0_f64, |m, &c| m.max(c.abs()));
+
+        if max_abs == 0.0 || !max_abs.is_finite() {
+            // Degenerate level: everything quantizes to zero. Planes are
+            // all-zero bitstreams (nearly free after RLE).
+            let empty_plane = {
+                let mut w = BitWriter::with_capacity(coeffs.len());
+                for _ in 0..coeffs.len() {
+                    w.push(false);
+                }
+                lossless::compress(&w.into_bytes())
+            };
+            return LevelEncoding {
+                count: coeffs.len(),
+                num_planes: b,
+                step: 0.0,
+                planes: vec![empty_plane; b as usize],
+                error_row: vec![0.0; b as usize + 1],
+            };
+        }
+
+        // Fixed-point scale: |q| <= 2^(B-2) fits in B negabinary digits.
+        let step = max_abs / (1u64 << (b - 2)) as f64;
+        let step = if step > 0.0 { step } else { f64::MIN_POSITIVE };
+        let mut digits: Vec<u64> = Vec::with_capacity(coeffs.len());
+        let mut error_row = vec![0.0f64; b as usize + 1];
+        // Weights (-2)^(B-1-k) for incremental reconstruction.
+        let weights: Vec<i64> = (0..b).map(|k| (-2_i64).pow(b - 1 - k)).collect();
+
+        for &c in coeffs {
+            let q = (c / step).round() as i64;
+            let nb = negabinary::to_negabinary(q);
+            digits.push(nb);
+            // Collect the exact truncation error for every prefix length.
+            error_row[0] = error_row[0].max(c.abs());
+            let mut val: i64 = 0;
+            for (k, &w) in weights.iter().enumerate() {
+                if nb >> (b - 1 - k as u32) & 1 == 1 {
+                    val += w;
+                }
+                let err = (c - val as f64 * step).abs();
+                if err > error_row[k + 1] {
+                    error_row[k + 1] = err;
+                }
+            }
+        }
+
+        let mut planes = Vec::with_capacity(b as usize);
+        for k in 0..b {
+            let shift = b - 1 - k;
+            let mut w = BitWriter::with_capacity(digits.len());
+            for &nb in &digits {
+                w.push(nb >> shift & 1 == 1);
+            }
+            planes.push(lossless::compress(&w.into_bytes()));
+        }
+
+        LevelEncoding { count: coeffs.len(), num_planes: b, step, planes, error_row }
+    }
+
+    /// Number of coefficients.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Total number of planes `B`.
+    pub fn num_planes(&self) -> u32 {
+        self.num_planes
+    }
+
+    /// Compressed byte size of plane `k` (`S[l][k]`).
+    pub fn plane_size(&self, k: u32) -> u64 {
+        self.planes[k as usize].len() as u64
+    }
+
+    /// Compressed byte size of the first `b` planes.
+    pub fn size_of_first(&self, b: u32) -> u64 {
+        self.planes[..b.min(self.num_planes) as usize]
+            .iter()
+            .map(|p| p.len() as u64)
+            .sum()
+    }
+
+    /// Total compressed size of all planes.
+    pub fn total_size(&self) -> u64 {
+        self.size_of_first(self.num_planes)
+    }
+
+    /// The collected error row `Err[0..=B]`.
+    pub fn error_row(&self) -> &[f64] {
+        &self.error_row
+    }
+
+    /// Serialize to a self-contained byte buffer (used by the artifact
+    /// persistence of this crate and by other codecs building on the
+    /// bit-plane machinery).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_size() as usize + 256);
+        out.extend_from_slice(&(self.count as u64).to_le_bytes());
+        out.extend_from_slice(&self.num_planes.to_le_bytes());
+        out.extend_from_slice(&self.step.to_le_bytes());
+        for &e in &self.error_row {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        for p in &self.planes {
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Inverse of [`LevelEncoding::to_bytes`]: parses and validates,
+    /// returning the encoding and the number of bytes consumed.
+    pub fn from_bytes(buf: &[u8]) -> Option<(Self, usize)> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = buf.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let count = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        if count > (1 << 28) {
+            return None;
+        }
+        let count = count as usize;
+        let num_planes = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        if !(3..=50).contains(&num_planes) {
+            return None;
+        }
+        let step = f64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        let mut error_row = Vec::with_capacity(num_planes as usize + 1);
+        for _ in 0..=num_planes {
+            error_row.push(f64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?));
+        }
+        let mut planes = Vec::with_capacity(num_planes as usize);
+        for _ in 0..num_planes {
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            planes.push(take(&mut pos, len)?.to_vec());
+        }
+        let enc = Self::from_parts(count, num_planes, step, planes, error_row)?;
+        Some((enc, pos))
+    }
+
+    /// Rebuild from persisted parts; validates the structural invariants.
+    pub(crate) fn from_parts(
+        count: usize,
+        num_planes: u32,
+        step: f64,
+        planes: Vec<Vec<u8>>,
+        error_row: Vec<f64>,
+    ) -> Option<Self> {
+        if !(3..=50).contains(&num_planes)
+            || planes.len() != num_planes as usize
+            || error_row.len() != num_planes as usize + 1
+            || !step.is_finite()
+            || step < 0.0
+            || error_row.iter().any(|e| !e.is_finite() || *e < 0.0)
+        {
+            return None;
+        }
+        // Every plane payload must decompress to exactly one bit per
+        // coefficient, so a corrupted artifact fails loudly at load time
+        // instead of panicking inside `decode`.
+        let expected = count.div_ceil(8);
+        for p in &planes {
+            match lossless::decompress(p) {
+                Some(bytes) if bytes.len() == expected => {}
+                _ => return None,
+            }
+        }
+        Some(LevelEncoding { count, num_planes, step, planes, error_row })
+    }
+
+    /// Max absolute coefficient error when the first `b` planes are used.
+    pub fn error_at(&self, b: u32) -> f64 {
+        self.error_row[b.min(self.num_planes) as usize]
+    }
+
+    /// Decode the level using only the first `b` planes (clamped to `B`).
+    pub fn decode(&self, b: u32) -> Vec<f64> {
+        let b = b.min(self.num_planes);
+        if self.step == 0.0 {
+            return vec![0.0; self.count];
+        }
+        let mut digits = vec![0u64; self.count];
+        for k in 0..b {
+            let bytes = lossless::decompress(&self.planes[k as usize])
+                .expect("internally produced plane must decompress");
+            let mut r = BitReader::new(&bytes);
+            let shift = self.num_planes - 1 - k;
+            for nb in digits.iter_mut() {
+                if r.next_bit().expect("plane shorter than coefficient count") {
+                    *nb |= 1u64 << shift;
+                }
+            }
+        }
+        digits
+            .into_iter()
+            .map(|nb| negabinary::from_negabinary(nb) as f64 * self.step)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coeffs(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                t.sin() * 3.0 + (t * 1.7).cos() * 0.01
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_decode_is_near_lossless() {
+        let coeffs = sample_coeffs(500);
+        let enc = LevelEncoding::encode(&coeffs, 32);
+        let dec = enc.decode(32);
+        let max_abs = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+        let quant_step = max_abs / (1u64 << 30) as f64;
+        for (a, b) in coeffs.iter().zip(&dec) {
+            assert!((a - b).abs() <= quant_step, "err {}", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn error_row_matches_actual_decode_error() {
+        let coeffs = sample_coeffs(200);
+        let enc = LevelEncoding::encode(&coeffs, 24);
+        for b in 0..=24u32 {
+            let dec = enc.decode(b);
+            let actual = coeffs
+                .iter()
+                .zip(&dec)
+                .map(|(a, d)| (a - d).abs())
+                .fold(0.0f64, f64::max);
+            let recorded = enc.error_at(b);
+            assert!(
+                (actual - recorded).abs() < 1e-12 * (1.0 + actual),
+                "b={b} actual={actual} recorded={recorded}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_row_starts_at_max_abs() {
+        let coeffs = vec![-4.0, 1.0, 2.5];
+        let enc = LevelEncoding::encode(&coeffs, 16);
+        assert_eq!(enc.error_at(0), 4.0);
+        assert!(enc.error_at(16) < 4.0 / (1u64 << 13) as f64);
+    }
+
+    #[test]
+    fn zero_level_is_cheap_and_exact() {
+        let coeffs = vec![0.0; 1000];
+        let enc = LevelEncoding::encode(&coeffs, 32);
+        assert!(enc.total_size() < 1000, "size {}", enc.total_size());
+        assert_eq!(enc.decode(5), vec![0.0; 1000]);
+        assert_eq!(enc.error_at(0), 0.0);
+    }
+
+    #[test]
+    fn high_planes_compress_better_than_low_planes() {
+        // Coefficients spanning magnitudes: top planes are sparse.
+        let coeffs: Vec<f64> = (0..4096)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.013).sin() * (t * 0.00071).cos()
+            })
+            .collect();
+        let enc = LevelEncoding::encode(&coeffs, 32);
+        let high: u64 = (0..4).map(|k| enc.plane_size(k)).sum();
+        let low: u64 = (28..32).map(|k| enc.plane_size(k)).sum();
+        assert!(high < low, "high={high} low={low}");
+    }
+
+    #[test]
+    fn partial_decode_error_decreases_with_planes() {
+        let coeffs = sample_coeffs(300);
+        let enc = LevelEncoding::encode(&coeffs, 32);
+        // Sampled strictly on the recorded rows every 4 planes.
+        let mut prev = f64::INFINITY;
+        for b in (0..=32).step_by(4) {
+            let e = enc.error_at(b);
+            assert!(e <= prev + 1e-15, "b={b} e={e} prev={prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn single_coefficient_level() {
+        let enc = LevelEncoding::encode(&[7.25], 32);
+        let dec = enc.decode(32);
+        assert!((dec[0] - 7.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_few_planes_rejected() {
+        let _ = LevelEncoding::encode(&[1.0], 2);
+    }
+}

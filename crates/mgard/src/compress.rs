@@ -1,0 +1,450 @@
+//! The high-level progressive compressor: one artifact per field holding
+//! encoded planes, collected error matrix, and metadata — plus the hooks the
+//! DNN retrievers plug into.
+
+use crate::bitplane::{LevelEncoding, DEFAULT_BITPLANES};
+use crate::decompose::{Decomposer, TransformMode};
+use crate::estimate::{estimate_error, theory_constants};
+use crate::retrieve::{greedy_plan, plan_size, RetrievalPlan};
+use pmr_field::{Field, Shape};
+use serde::{Deserialize, Serialize};
+
+/// Compression parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressConfig {
+    /// Number of coefficient levels `L` (clamped to the shape's maximum).
+    pub levels: usize,
+    /// Bit-planes per level `B`.
+    pub num_planes: u32,
+    /// Multilevel transform variant.
+    pub mode: TransformMode,
+}
+
+impl Default for CompressConfig {
+    fn default() -> Self {
+        CompressConfig {
+            levels: 5,
+            num_planes: DEFAULT_BITPLANES,
+            mode: TransformMode::L2Projection,
+        }
+    }
+}
+
+/// A progressively retrievable compressed field.
+///
+/// ```
+/// use pmr_field::{Field, Shape};
+/// use pmr_mgard::{CompressConfig, Compressed};
+///
+/// let field = Field::from_fn("demo", 0, Shape::cube(9), |x, y, _| {
+///     ((x as f64) * 0.4).sin() + (y as f64) * 0.05
+/// });
+/// let compressed = Compressed::compress(&field, &CompressConfig::default());
+///
+/// // Plan a retrieval for an absolute error bound and execute it.
+/// let plan = compressed.plan_theory(1e-3);
+/// let approx = compressed.retrieve(&plan);
+/// let err = pmr_field::error::max_abs_error(field.data(), approx.data());
+/// assert!(err <= 1e-3);
+/// assert!(compressed.retrieved_bytes(&plan) <= compressed.total_bytes());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Compressed {
+    name: String,
+    timestep: usize,
+    decomposer: Decomposer,
+    levels: Vec<LevelEncoding>,
+    constants: Vec<f64>,
+    /// `max - min` of the original data, recorded at compression time so
+    /// that relative error bounds can be converted on retrieval (the paper
+    /// assumes ranges are collected during the simulation).
+    value_range: f64,
+}
+
+impl Compressed {
+    /// Rebuild from persisted parts (see [`crate::persist`]).
+    pub(crate) fn from_parts(
+        name: String,
+        timestep: usize,
+        decomposer: Decomposer,
+        levels: Vec<LevelEncoding>,
+        value_range: f64,
+    ) -> Option<Self> {
+        if levels.len() != decomposer.levels() || !value_range.is_finite() || value_range < 0.0
+        {
+            return None;
+        }
+        // Level coefficient counts must match the decomposition layout.
+        let expected: Vec<usize> =
+            decomposer.level_indices().iter().map(Vec::len).collect();
+        if levels.iter().zip(&expected).any(|(l, &e)| l.count() != e) {
+            return None;
+        }
+        let constants = theory_constants(&decomposer);
+        Some(Compressed { name, timestep, decomposer, levels, constants, value_range })
+    }
+
+    /// Decompose, interleave and bit-plane encode `field`.
+    pub fn compress(field: &Field, cfg: &CompressConfig) -> Self {
+        let decomposer = Decomposer::new(field.shape(), cfg.levels, cfg.mode);
+        let mut data = field.data().to_vec();
+        decomposer.decompose(&mut data);
+        let levels: Vec<LevelEncoding> = decomposer
+            .interleave(&data)
+            .iter()
+            .map(|coeffs| LevelEncoding::encode(coeffs, cfg.num_planes))
+            .collect();
+        let constants = theory_constants(&decomposer);
+        Compressed {
+            name: field.name().to_string(),
+            timestep: field.timestep(),
+            decomposer,
+            levels,
+            constants,
+            value_range: field.value_range(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn timestep(&self) -> usize {
+        self.timestep
+    }
+
+    pub fn shape(&self) -> Shape {
+        self.decomposer.shape()
+    }
+
+    /// Number of coefficient levels `L`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Bit-planes per level `B`.
+    pub fn num_planes(&self) -> u32 {
+        self.levels[0].num_planes()
+    }
+
+    /// The decomposition plan (exposed for analysis tooling).
+    pub fn decomposer(&self) -> &Decomposer {
+        &self.decomposer
+    }
+
+    /// Per-level encodings (error rows, plane sizes).
+    pub fn levels(&self) -> &[LevelEncoding] {
+        &self.levels
+    }
+
+    /// The theory constants `C_l`.
+    pub fn theory_constants(&self) -> &[f64] {
+        &self.constants
+    }
+
+    /// Original data value range (for relative→absolute bound conversion).
+    pub fn value_range(&self) -> f64 {
+        self.value_range
+    }
+
+    /// Convert a relative error bound to the absolute bound used internally.
+    pub fn absolute_bound(&self, rel_bound: f64) -> f64 {
+        rel_bound * self.value_range
+    }
+
+    /// Plan a retrieval for absolute bound `e` with the original
+    /// theory-based estimator.
+    pub fn plan_theory(&self, abs_err: f64) -> RetrievalPlan {
+        greedy_plan(&self.levels, &self.constants, abs_err)
+    }
+
+    /// Plan with externally supplied per-level constants (E-MGARD hook).
+    pub fn plan_with_constants(&self, abs_err: f64, constants: &[f64]) -> RetrievalPlan {
+        greedy_plan(&self.levels, constants, abs_err)
+    }
+
+    /// Plan that fetches every plane (lossless-to-quantization retrieval).
+    pub fn plan_full(&self) -> RetrievalPlan {
+        let planes: Vec<u32> = self.levels.iter().map(|l| l.num_planes()).collect();
+        let est = estimate_error(&self.levels, &self.constants, &planes);
+        RetrievalPlan { planes, estimated_error: est }
+    }
+
+    /// Theory error estimate for arbitrary plane counts (used when
+    /// evaluating externally predicted plans).
+    pub fn estimate_for(&self, planes: &[u32]) -> f64 {
+        estimate_error(&self.levels, &self.constants, planes)
+    }
+
+    /// Bytes fetched under `plan` (the size interpreter).
+    pub fn retrieved_bytes(&self, plan: &RetrievalPlan) -> u64 {
+        plan_size(&self.levels, plan)
+    }
+
+    /// Total compressed payload size.
+    pub fn total_bytes(&self) -> u64 {
+        self.levels.iter().map(|l| l.total_size()).sum()
+    }
+
+    /// Decode the planes selected by `plan` and recompose the approximation.
+    pub fn retrieve(&self, plan: &RetrievalPlan) -> Field {
+        assert_eq!(plan.planes.len(), self.levels.len(), "plan/levels mismatch");
+        let coeffs: Vec<Vec<f64>> = self
+            .levels
+            .iter()
+            .zip(&plan.planes)
+            .map(|(l, &b)| l.decode(b))
+            .collect();
+        let mut data = self.decomposer.deinterleave(&coeffs);
+        self.decomposer.recompose(&mut data);
+        Field::new(self.name.clone(), self.timestep, self.decomposer.shape(), data)
+    }
+
+    /// Retrieve a *coarse-resolution* approximation: recompose only up to
+    /// the grid of `target_level` (`0` = coarsest). Levels finer than the
+    /// target contribute nothing, so a matching plan should fetch zero
+    /// planes from them — the combined I/O + compute saving of progressive
+    /// storage (paper §I).
+    pub fn retrieve_at_level(&self, plan: &RetrievalPlan, target_level: usize) -> Field {
+        assert_eq!(plan.planes.len(), self.levels.len(), "plan/levels mismatch");
+        assert!(target_level < self.num_levels(), "level out of range");
+        let coeffs: Vec<Vec<f64>> = self
+            .levels
+            .iter()
+            .zip(&plan.planes)
+            .enumerate()
+            .map(|(l, (lvl, &b))| {
+                if l <= target_level {
+                    lvl.decode(b)
+                } else {
+                    vec![0.0; lvl.count()]
+                }
+            })
+            .collect();
+        let mut data = self.decomposer.deinterleave(&coeffs);
+        let coarse = self.decomposer.recompose_to_level(&mut data, target_level);
+        Field::new(
+            self.name.clone(),
+            self.timestep,
+            self.decomposer.grid_shape_at_level(target_level),
+            coarse,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_field::error::max_abs_error;
+
+    fn wave_field(n: usize) -> Field {
+        Field::from_fn("wave", 7, Shape::cube(n), |x, y, z| {
+            ((x as f64) * 0.31).sin() * ((y as f64) * 0.17).cos() + 0.05 * (z as f64)
+        })
+    }
+
+    #[test]
+    fn full_retrieval_is_near_lossless() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let plan = c.plan_full();
+        let rec = c.retrieve(&plan);
+        let err = max_abs_error(field.data(), rec.data());
+        // Quantization floor: range is O(1), 30 fractional bits, plus the
+        // level-constant amplification headroom.
+        assert!(err < 1e-5, "err={err}");
+        assert_eq!(rec.name(), "wave");
+        assert_eq!(rec.timestep(), 7);
+    }
+
+    #[test]
+    fn theory_plan_respects_bound() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        for bound in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let plan = c.plan_theory(bound);
+            let rec = c.retrieve(&plan);
+            let err = max_abs_error(field.data(), rec.data());
+            assert!(err <= bound, "bound={bound} actual={err}");
+        }
+    }
+
+    #[test]
+    fn theory_is_pessimistic() {
+        // The motivating observation of the paper: achieved error is far
+        // below the requested bound.
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let bound = 1e-2;
+        let plan = c.plan_theory(bound);
+        let rec = c.retrieve(&plan);
+        let err = max_abs_error(field.data(), rec.data());
+        assert!(err < bound / 5.0, "achieved {err} not well below bound {bound}");
+    }
+
+    #[test]
+    fn tighter_bound_reads_more() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let loose = c.retrieved_bytes(&c.plan_theory(1e-1));
+        let tight = c.retrieved_bytes(&c.plan_theory(1e-4));
+        assert!(tight > loose, "tight={tight} loose={loose}");
+        assert!(tight <= c.total_bytes());
+    }
+
+    #[test]
+    fn smaller_constants_read_less() {
+        // The E-MGARD premise: replacing pessimistic constants with smaller
+        // ones reduces retrieval size.
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let bound = 1e-3;
+        let theory = c.plan_theory(bound);
+        let tuned: Vec<f64> = c.theory_constants().iter().map(|v| v / 10.0).collect();
+        let learned = c.plan_with_constants(bound, &tuned);
+        assert!(c.retrieved_bytes(&learned) <= c.retrieved_bytes(&theory));
+    }
+
+    #[test]
+    fn relative_bound_conversion() {
+        let field = wave_field(9);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let range = field.value_range();
+        assert!((c.absolute_bound(1e-3) - 1e-3 * range).abs() < 1e-15);
+        assert_eq!(c.value_range(), range);
+    }
+
+    #[test]
+    fn config_levels_clamped_for_tiny_grids() {
+        let field = Field::from_fn("t", 0, Shape::d1(4), |x, _, _| x as f64);
+        let cfg = CompressConfig { levels: 50, ..Default::default() };
+        let c = Compressed::compress(&field, &cfg);
+        assert!(c.num_levels() <= Decomposer::max_levels(Shape::d1(4)));
+        let rec = c.retrieve(&c.plan_full());
+        assert!(max_abs_error(field.data(), rec.data()) < 1e-6);
+    }
+
+    #[test]
+    fn one_dimensional_fields_compress() {
+        let field = Field::from_fn("line", 0, Shape::d1(65), |x, _, _| {
+            ((x as f64) * 0.17).sin() * 3.0
+        });
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        assert_eq!(c.num_levels(), 5);
+        for bound in [1e-2, 1e-5] {
+            let plan = c.plan_theory(bound);
+            let rec = c.retrieve(&plan);
+            assert!(max_abs_error(field.data(), rec.data()) <= bound);
+        }
+    }
+
+    #[test]
+    fn two_dimensional_fields_compress() {
+        let field = Field::from_fn("slab", 0, Shape::d2(33, 17), |x, y, _| {
+            ((x as f64) * 0.2).cos() + ((y as f64) * 0.35).sin()
+        });
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let plan = c.plan_theory(1e-4);
+        let rec = c.retrieve(&plan);
+        assert!(max_abs_error(field.data(), rec.data()) <= 1e-4);
+    }
+
+    #[test]
+    fn constant_field_costs_almost_nothing() {
+        let field = Field::new("flat", 0, Shape::cube(9), vec![2.5; 729]);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        // Details are all zero; only the coarsest values carry content.
+        let plan = c.plan_theory(1e-9);
+        let rec = c.retrieve(&plan);
+        assert!(max_abs_error(field.data(), rec.data()) <= 1e-6);
+        assert!(
+            c.retrieved_bytes(&plan) < 2500,
+            "constant field read {} bytes",
+            c.retrieved_bytes(&plan)
+        );
+    }
+
+    #[test]
+    fn estimate_for_matches_plan_estimate() {
+        let field = wave_field(9);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let plan = c.plan_theory(1e-3);
+        let est = c.estimate_for(&plan.planes);
+        assert!((est - plan.estimated_error).abs() <= 1e-12 * (1.0 + est));
+    }
+
+    #[test]
+    fn per_level_constants_steer_the_greedy() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let bound = c.absolute_bound(1e-3);
+        // Zero-ish weight on the finest level -> barely fetch it.
+        let mut lopsided = vec![1.0; c.num_levels()];
+        *lopsided.last_mut().unwrap() = 1e-9;
+        let plan = c.plan_with_constants(bound, &lopsided);
+        let balanced = c.plan_with_constants(bound, &vec![1.0; c.num_levels()]);
+        assert!(plan.planes.last().unwrap() <= balanced.planes.last().unwrap());
+    }
+
+    #[test]
+    fn coarse_retrieval_matches_strided_samples_in_interp_mode() {
+        // In interpolation mode the coarse-grid values are exactly the
+        // original samples at strided positions (no projection moves them).
+        let field = wave_field(17);
+        let cfg = CompressConfig { mode: TransformMode::Interpolation, ..Default::default() };
+        let c = Compressed::compress(&field, &cfg);
+        let plan = c.plan_full();
+        let coarse = c.retrieve_at_level(&plan, 0);
+        let steps = c.num_levels() - 1;
+        let stride = 1usize << steps;
+        let cs = coarse.shape();
+        assert_eq!(cs.dim(0), (17usize).div_ceil(stride));
+        for z in 0..cs.dim(2) {
+            for y in 0..cs.dim(1) {
+                for x in 0..cs.dim(0) {
+                    let expect = field.get(x * stride, y * stride, z * stride);
+                    let got = coarse.get(x, y, z);
+                    assert!((expect - got).abs() < 1e-5, "({x},{y},{z}): {expect} vs {got}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_retrieval_needs_no_fine_level_planes() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        // Fetch only levels 0..=1, none of the finer ones.
+        let mut planes = vec![0u32; c.num_levels()];
+        planes[0] = c.num_planes();
+        planes[1] = c.num_planes();
+        let plan = RetrievalPlan::from_planes(planes);
+        let coarse = c.retrieve_at_level(&plan, 1);
+        assert_eq!(coarse.shape(), c.decomposer().grid_shape_at_level(1));
+        assert!(coarse.data().iter().all(|v| v.is_finite()));
+        // The fetched bytes exclude the fine levels entirely.
+        let bytes = c.retrieved_bytes(&plan);
+        assert!(bytes < c.total_bytes() / 4, "coarse fetch read {bytes} bytes");
+    }
+
+    #[test]
+    fn coarse_grid_shapes_shrink_per_level() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let mut prev = 0usize;
+        for l in 0..c.num_levels() {
+            let s = c.decomposer().grid_shape_at_level(l);
+            assert!(s.len() > prev, "grids must grow with level");
+            prev = s.len();
+        }
+    }
+
+    #[test]
+    fn clone_preserves_plans() {
+        let field = wave_field(9);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let p1 = c.plan_theory(1e-3);
+        let p2 = c.clone().plan_theory(1e-3);
+        assert_eq!(p1, p2);
+    }
+}

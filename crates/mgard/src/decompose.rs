@@ -1,0 +1,412 @@
+//! Multilevel decomposition of 1-/2-/3-D fields and the level interleaver.
+//!
+//! A [`Decomposer`] with `L` coefficient levels performs `L - 1` separable
+//! decomposition steps. At step `s` the active grid consists of the nodes
+//! whose coordinates are all multiples of `2^s`; the step runs the 1-D
+//! transform of [`crate::transform`] along every active line of every
+//! dimension, leaving details at nodes that drop out of the next-coarser
+//! grid.
+//!
+//! **Level convention** (paper Fig. 5): level `0` is the *highest* level with
+//! the *lowest* resolution — the coarsest-grid approximation values; level
+//! `L-1` is the finest detail shell. Level `j > 0` holds the details created
+//! at decomposition step `s = (L-1) - j`.
+
+use crate::transform::{forward_line, inverse_line, LineScratch};
+use pmr_field::Shape;
+use serde::{Deserialize, Serialize};
+
+/// Which multilevel transform to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransformMode {
+    /// Pure interpolating hierarchy (details only; coarse values untouched).
+    Interpolation,
+    /// MGARD-style hierarchy: interpolation plus the multigrid L2-projection
+    /// correction on coarse values. This is the default and the mode whose
+    /// error theory the paper analyses.
+    L2Projection,
+}
+
+/// A reusable multilevel decomposition plan for one grid shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposer {
+    shape: Shape,
+    /// Number of coefficient levels `L` (steps = L - 1).
+    levels: usize,
+    mode: TransformMode,
+}
+
+impl Decomposer {
+    /// Create a decomposer with (up to) `levels` coefficient levels.
+    ///
+    /// `levels` is clamped to [`Decomposer::max_levels`] for the shape; use
+    /// [`Decomposer::levels`] to observe the effective count.
+    pub fn new(shape: Shape, levels: usize, mode: TransformMode) -> Self {
+        let levels = levels.clamp(1, Self::max_levels(shape));
+        Decomposer { shape, levels, mode }
+    }
+
+    /// The largest meaningful number of coefficient levels for `shape`:
+    /// one more than the number of steps after which no dimension has two
+    /// active points left.
+    pub fn max_levels(shape: Shape) -> usize {
+        let mut steps = 0usize;
+        while (0..3).any(|d| active_size(shape.dim(d), steps) >= 2) {
+            steps += 1;
+        }
+        steps + 1
+    }
+
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Effective number of coefficient levels `L`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of decomposition steps (`L - 1`).
+    pub fn steps(&self) -> usize {
+        self.levels - 1
+    }
+
+    pub fn mode(&self) -> TransformMode {
+        self.mode
+    }
+
+    /// Number of dimensions still being transformed at step `s` (some
+    /// dimensions collapse to a single point before others on anisotropic
+    /// grids). Used by the theory error estimator.
+    pub fn active_dims_at_step(&self, s: usize) -> usize {
+        (0..3).filter(|&d| active_size(self.shape.dim(d), s) >= 2).count()
+    }
+
+    /// Forward transform, in place. `data.len()` must equal `shape.len()`.
+    pub fn decompose(&self, data: &mut [f64]) {
+        assert_eq!(data.len(), self.shape.len(), "data/shape length mismatch");
+        let mut scratch = LineScratch::new();
+        for s in 0..self.steps() {
+            for d in 0..3 {
+                self.transform_dim(data, s, d, true, &mut scratch);
+            }
+        }
+    }
+
+    /// Inverse transform, in place.
+    pub fn recompose(&self, data: &mut [f64]) {
+        assert_eq!(data.len(), self.shape.len(), "data/shape length mismatch");
+        let mut scratch = LineScratch::new();
+        for s in (0..self.steps()).rev() {
+            for d in (0..3).rev() {
+                self.transform_dim(data, s, d, false, &mut scratch);
+            }
+        }
+    }
+
+    /// Shape of the grid at coefficient level `target_level`
+    /// (`0` = coarsest approximation grid, `levels() - 1` = one step above
+    /// the full grid, `levels()` would be the full grid itself).
+    pub fn grid_shape_at_level(&self, target_level: usize) -> Shape {
+        assert!(target_level < self.levels(), "level out of range");
+        let s = self.steps() - target_level;
+        let d = |i: usize| active_size(self.shape.dim(i), s);
+        match self.shape.ndim() {
+            1 => Shape::d1(d(0)),
+            2 => Shape::d2(d(0), d(1)),
+            _ => Shape::d3(d(0), d(1), d(2)),
+        }
+    }
+
+    /// Partially recompose `data` up to the grid of `target_level` and
+    /// extract that coarse grid as a dense array (row-major).
+    ///
+    /// This is the "reduced degrees of freedom" path of progressive
+    /// retrieval (paper §I): an analysis that only needs a coarse view
+    /// never materialises — or pays recomposition for — the fine grid.
+    pub fn recompose_to_level(&self, data: &mut [f64], target_level: usize) -> Vec<f64> {
+        assert_eq!(data.len(), self.shape.len(), "data/shape length mismatch");
+        assert!(target_level < self.levels(), "level out of range");
+        let stop_step = self.steps() - target_level;
+        let mut scratch = LineScratch::new();
+        for s in (stop_step..self.steps()).rev() {
+            for d in (0..3).rev() {
+                self.transform_dim(data, s, d, false, &mut scratch);
+            }
+        }
+        // Gather the active nodes of `stop_step` into a dense coarse grid.
+        let coarse = self.grid_shape_at_level(target_level);
+        let stride = 1usize << stop_step;
+        let mut out = Vec::with_capacity(coarse.len());
+        for z in 0..coarse.dim(2) {
+            for y in 0..coarse.dim(1) {
+                for x in 0..coarse.dim(0) {
+                    out.push(data[self.shape.index(x * stride, y * stride, z * stride)]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the 1-D transform along dimension `d` on every active line of
+    /// step `s`.
+    fn transform_dim(
+        &self,
+        data: &mut [f64],
+        s: usize,
+        d: usize,
+        forward: bool,
+        scratch: &mut LineScratch,
+    ) {
+        let n = self.shape.dim(d);
+        let m = active_size(n, s);
+        if m < 2 {
+            return;
+        }
+        let stride = self.shape.stride(d) << s;
+        let (d1, d2) = other_dims(d);
+        let (n1, n2) = (self.shape.dim(d1), self.shape.dim(d2));
+        let (st1, st2) = (self.shape.stride(d1) << s, self.shape.stride(d2) << s);
+        let (m1, m2) = (active_size(n1, s), active_size(n2, s));
+
+        let mut line = std::mem::take(&mut scratch.line);
+        line.resize(m, 0.0);
+        for i2 in 0..m2 {
+            for i1 in 0..m1 {
+                let base = i1 * st1 + i2 * st2;
+                for (k, v) in line.iter_mut().enumerate() {
+                    *v = data[base + k * stride];
+                }
+                if forward {
+                    forward_line(&mut line, self.mode, scratch);
+                } else {
+                    inverse_line(&mut line, self.mode, scratch);
+                }
+                for (k, v) in line.iter().enumerate() {
+                    data[base + k * stride] = *v;
+                }
+            }
+        }
+        scratch.line = line;
+    }
+
+    /// Coefficient level of the node at `(x, y, z)` under the convention
+    /// documented at module level.
+    pub fn level_of_node(&self, x: usize, y: usize, z: usize) -> usize {
+        let steps = self.steps();
+        let mut s = 0;
+        while s < steps {
+            let p = 1usize << (s + 1);
+            if x.is_multiple_of(p) && y.is_multiple_of(p) && z.is_multiple_of(p) {
+                s += 1;
+            } else {
+                break;
+            }
+        }
+        steps - s
+    }
+
+    /// Linear indices of every node, grouped by coefficient level, each
+    /// group in row-major scan order. The interleaver contract: encoding and
+    /// decoding both traverse these lists.
+    pub fn level_indices(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.levels];
+        let sh = self.shape;
+        for z in 0..sh.dim(2) {
+            for y in 0..sh.dim(1) {
+                for x in 0..sh.dim(0) {
+                    groups[self.level_of_node(x, y, z)].push(sh.index(x, y, z));
+                }
+            }
+        }
+        groups
+    }
+
+    /// Gather decomposed data into one contiguous coefficient array per
+    /// level (the "interleaver" of the MGARD pipeline).
+    pub fn interleave(&self, data: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(data.len(), self.shape.len());
+        self.level_indices()
+            .iter()
+            .map(|idxs| idxs.iter().map(|&i| data[i]).collect())
+            .collect()
+    }
+
+    /// Scatter per-level coefficient arrays back into a full grid buffer.
+    /// Missing trailing values (never produced by [`interleave`], but
+    /// possible with truncated external input) are rejected.
+    pub fn deinterleave(&self, levels: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(levels.len(), self.levels, "level count mismatch");
+        let mut data = vec![0.0; self.shape.len()];
+        for (group, idxs) in levels.iter().zip(self.level_indices()) {
+            assert_eq!(group.len(), idxs.len(), "level size mismatch");
+            for (&v, &i) in group.iter().zip(&idxs) {
+                data[i] = v;
+            }
+        }
+        data
+    }
+}
+
+/// Number of active points along a dimension of extent `n` at step `s`:
+/// `ceil(n / 2^s)`.
+pub fn active_size(n: usize, s: usize) -> usize {
+    if s >= usize::BITS as usize {
+        return 1;
+    }
+    n.div_ceil(1 << s)
+}
+
+fn other_dims(d: usize) -> (usize, usize) {
+    match d {
+        0 => (1, 2),
+        1 => (0, 2),
+        2 => (0, 1),
+        _ => panic!("dimension out of range"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(len: usize) -> Vec<f64> {
+        (0..len).map(|i| ((i * 2654435761usize) % 1000) as f64 / 31.0 - 16.0).collect()
+    }
+
+    fn roundtrip(shape: Shape, levels: usize, mode: TransformMode) {
+        let dec = Decomposer::new(shape, levels, mode);
+        let orig = ramp(shape.len());
+        let mut data = orig.clone();
+        dec.decompose(&mut data);
+        dec.recompose(&mut data);
+        let max_err =
+            orig.iter().zip(&data).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        assert!(max_err < 1e-9, "shape={shape} levels={levels} mode={mode:?} err={max_err}");
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        for n in [2usize, 3, 5, 8, 9, 16, 17, 33, 64, 100] {
+            for mode in [TransformMode::Interpolation, TransformMode::L2Projection] {
+                roundtrip(Shape::d1(n), 4, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        for (nx, ny) in [(5, 9), (8, 8), (17, 33), (30, 7)] {
+            for mode in [TransformMode::Interpolation, TransformMode::L2Projection] {
+                roundtrip(Shape::d2(nx, ny), 5, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        for (nx, ny, nz) in [(9, 9, 9), (17, 17, 17), (8, 12, 20), (33, 5, 2)] {
+            for mode in [TransformMode::Interpolation, TransformMode::L2Projection] {
+                roundtrip(Shape::d3(nx, ny, nz), 5, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn max_levels_examples() {
+        assert_eq!(Decomposer::max_levels(Shape::d1(2)), 2); // one step: 2 -> 1
+        assert_eq!(Decomposer::max_levels(Shape::d1(3)), 3); // 3 -> 2 -> 1
+        assert_eq!(Decomposer::max_levels(Shape::d1(65)), 8); // 65,33,17,9,5,3,2 -> 1
+        assert_eq!(Decomposer::max_levels(Shape::cube(17)), 6);
+    }
+
+    #[test]
+    fn levels_clamped() {
+        let dec = Decomposer::new(Shape::d1(5), 99, TransformMode::Interpolation);
+        assert_eq!(dec.levels(), Decomposer::max_levels(Shape::d1(5)));
+        let one = Decomposer::new(Shape::d1(5), 0, TransformMode::Interpolation);
+        assert_eq!(one.levels(), 1);
+        assert_eq!(one.steps(), 0);
+    }
+
+    #[test]
+    fn level_partition_covers_grid() {
+        let dec = Decomposer::new(Shape::cube(9), 4, TransformMode::L2Projection);
+        let groups = dec.level_indices();
+        assert_eq!(groups.len(), 4);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 9 * 9 * 9);
+        // Level 0 is the coarsest grid: ceil(9/8)=2 per dim -> 8 nodes.
+        assert_eq!(groups[0].len(), 8);
+        // Finest shell is the biggest group.
+        assert!(groups[3].len() > groups[2].len());
+    }
+
+    #[test]
+    fn level_of_node_convention() {
+        let dec = Decomposer::new(Shape::d1(9), 4, TransformMode::Interpolation);
+        // steps = 3; node 0 and 8 divisible by 8 -> level 0.
+        assert_eq!(dec.level_of_node(0, 0, 0), 0);
+        assert_eq!(dec.level_of_node(8, 0, 0), 0);
+        assert_eq!(dec.level_of_node(4, 0, 0), 1);
+        assert_eq!(dec.level_of_node(2, 0, 0), 2);
+        assert_eq!(dec.level_of_node(6, 0, 0), 2);
+        assert_eq!(dec.level_of_node(1, 0, 0), 3);
+        assert_eq!(dec.level_of_node(7, 0, 0), 3);
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let shape = Shape::d3(9, 5, 7);
+        let dec = Decomposer::new(shape, 3, TransformMode::L2Projection);
+        let data = ramp(shape.len());
+        let levels = dec.interleave(&data);
+        let back = dec.deinterleave(&levels);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn constant_field_has_zero_details() {
+        let shape = Shape::cube(9);
+        let dec = Decomposer::new(shape, 4, TransformMode::L2Projection);
+        let mut data = vec![5.5; shape.len()];
+        dec.decompose(&mut data);
+        let levels = dec.interleave(&data);
+        for lvl in 1..4 {
+            for &c in &levels[lvl] {
+                assert!(c.abs() < 1e-12, "level {lvl} coefficient {c}");
+            }
+        }
+        // Coarsest approximation keeps the constant value.
+        for &c in &levels[0] {
+            assert!((c - 5.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn anisotropic_dims_collapse_gracefully() {
+        // y collapses after 2 steps, x keeps going.
+        let shape = Shape::d2(33, 3);
+        let dec = Decomposer::new(shape, 5, TransformMode::L2Projection);
+        assert_eq!(dec.active_dims_at_step(0), 2);
+        assert_eq!(dec.active_dims_at_step(2), 1);
+        roundtrip(shape, 5, TransformMode::L2Projection);
+    }
+
+    #[test]
+    fn smooth_field_coefficients_decay_with_level() {
+        // For smooth data, finer-level details should be smaller.
+        let shape = Shape::cube(17);
+        let dec = Decomposer::new(shape, 4, TransformMode::L2Projection);
+        let mut data: Vec<f64> = (0..shape.len())
+            .map(|i| {
+                let (x, y, z) = shape.coords(i);
+                ((x as f64) * 0.2).sin() + ((y as f64) * 0.15).cos() + 0.1 * (z as f64)
+            })
+            .collect();
+        dec.decompose(&mut data);
+        let levels = dec.interleave(&data);
+        let max_of = |v: &[f64]| v.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+        assert!(max_of(&levels[1]) > max_of(&levels[3]));
+    }
+}

@@ -1,0 +1,153 @@
+//! The theory-based error estimator — the component the paper shows to be
+//! over-pessimistic and replaces with DNNs.
+//!
+//! Reconstruction is linear: `data = Σ_l T_l(coeff_l)`, so a per-level
+//! coefficient error `e_l` with `‖e_l‖_∞ ≤ ε_l` yields
+//! `‖err‖_∞ ≤ Σ_l ‖T_l‖_∞ ε_l`. The classical MGARD analysis bounds
+//! `‖T_l‖_∞` by absolute row sums — i.e. it assumes every weight on every
+//! interpolation/correction path adds constructively and **neglects the
+//! cancellation between positive and negative errors** (paper §II-C). We
+//! derive the same style of bound for our transform:
+//!
+//! * level 0 (coarsest approximation values) propagates through every
+//!   inverse step purely as "coarse data": prediction weights are convex and
+//!   the correction does not read coarse values, so `C_0 = 1`;
+//! * a level `j > 0` shell is consumed at its own inverse step, where a
+//!   worst-case 1-D amplification applies per active dimension:
+//!   - interpolation mode: `fine_odd = avg(coarse) + d` → factor `2`;
+//!   - L2 mode: `coarse = coarse' − z`, `‖z‖_∞ ≤ ‖M_c⁻¹‖_∞ ‖b‖_∞ ≤ 3ε`
+//!     (see [`crate::transform::MASS_INVERSE_NORM_BOUND`]) → coarse ≤ `4ε`,
+//!     then `fine_odd = avg + d ≤ 5ε` → factor `5`;
+//!
+//!   and factor 1 at every coarser-than-own step (the details there are
+//!   other levels'). Hence `C_j = κ^{d_j}` with `d_j` the number of
+//!   dimensions active at the step that consumes level `j`.
+//!
+//! These are *true* upper bounds (verified by property tests), and — exactly
+//! as the paper demonstrates — looser than reality by orders of magnitude,
+//! because the bit-plane quantization errors of thousands of coefficients
+//! never align in sign and location.
+
+use crate::bitplane::LevelEncoding;
+use crate::decompose::{Decomposer, TransformMode};
+
+/// Per-dimension worst-case amplification of a level's coefficient error at
+/// its own inverse step.
+pub fn per_dim_factor(mode: TransformMode) -> f64 {
+    match mode {
+        TransformMode::Interpolation => 2.0,
+        TransformMode::L2Projection => 5.0,
+    }
+}
+
+/// The theory constants `C_l` for every coefficient level of `dec`
+/// (length `dec.levels()`).
+pub fn theory_constants(dec: &Decomposer) -> Vec<f64> {
+    let kappa = per_dim_factor(dec.mode());
+    let steps = dec.steps();
+    let mut constants = Vec::with_capacity(dec.levels());
+    // Level 0: coarsest data, factor 1.
+    constants.push(1.0);
+    // Level j > 0 is consumed at step s = steps - j.
+    for j in 1..dec.levels() {
+        let s = steps - j;
+        let d = dec.active_dims_at_step(s);
+        constants.push(kappa.powi(d as i32));
+    }
+    constants
+}
+
+/// Theory estimate `Σ_l C_l · Err[l][b_l]` for the plane counts `b`.
+pub fn estimate_error(levels: &[LevelEncoding], constants: &[f64], b: &[u32]) -> f64 {
+    assert_eq!(levels.len(), constants.len());
+    assert_eq!(levels.len(), b.len());
+    levels
+        .iter()
+        .zip(constants)
+        .zip(b)
+        .map(|((lvl, &c), &bl)| c * lvl.error_at(bl))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_field::Shape;
+
+    #[test]
+    fn constants_shape_and_monotonicity() {
+        let dec = Decomposer::new(Shape::cube(17), 5, TransformMode::L2Projection);
+        let c = theory_constants(&dec);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c[0], 1.0);
+        // All dims active at every step for a 17^3 grid with 4 steps.
+        for j in 1..5 {
+            assert_eq!(c[j], 125.0);
+        }
+    }
+
+    #[test]
+    fn interpolation_mode_constants_smaller() {
+        let shape = Shape::cube(17);
+        let interp = theory_constants(&Decomposer::new(shape, 4, TransformMode::Interpolation));
+        let l2 = theory_constants(&Decomposer::new(shape, 4, TransformMode::L2Projection));
+        for (a, b) in interp.iter().zip(&l2).skip(1) {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn anisotropic_constants_use_active_dims() {
+        // 33x3 grid: at fine steps both dims active, later only x.
+        let dec = Decomposer::new(Shape::d2(33, 3), 5, TransformMode::Interpolation);
+        let c = theory_constants(&dec);
+        // Finest level (consumed at step 0): 2 dims -> 4.
+        assert_eq!(*c.last().unwrap(), 4.0);
+        // Coarsest shells consumed at steps >= 2: only x active -> 2.
+        assert_eq!(c[1], 2.0);
+    }
+
+    /// The headline property: the estimate is a true upper bound on the
+    /// actual reconstruction error, for both modes and truncation depths.
+    #[test]
+    fn estimate_upper_bounds_actual_error() {
+        for mode in [TransformMode::Interpolation, TransformMode::L2Projection] {
+            let shape = Shape::cube(9);
+            let dec = Decomposer::new(shape, 4, mode);
+            let original: Vec<f64> = (0..shape.len())
+                .map(|i| {
+                    let (x, y, z) = shape.coords(i);
+                    ((x as f64) * 0.9).sin() * ((y as f64) * 0.55).cos()
+                        + 0.3 * ((z * z) as f64).sqrt()
+                })
+                .collect();
+            let mut coeffs = original.clone();
+            dec.decompose(&mut coeffs);
+            let levels: Vec<LevelEncoding> = dec
+                .interleave(&coeffs)
+                .iter()
+                .map(|c| LevelEncoding::encode(c, 32))
+                .collect();
+            let constants = theory_constants(&dec);
+
+            for planes in [0u32, 2, 5, 9, 14, 20, 32] {
+                let b = vec![planes; levels.len()];
+                let est = estimate_error(&levels, &constants, &b);
+                // Actual reconstruction with truncated planes.
+                let truncated: Vec<Vec<f64>> =
+                    levels.iter().map(|l| l.decode(planes)).collect();
+                let mut data = dec.deinterleave(&truncated);
+                dec.recompose(&mut data);
+                let actual = original
+                    .iter()
+                    .zip(&data)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    actual <= est + 1e-12,
+                    "mode={mode:?} planes={planes} actual={actual} est={est}"
+                );
+            }
+        }
+    }
+}

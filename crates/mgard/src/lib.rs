@@ -1,0 +1,44 @@
+//! MGARD-style multilevel decomposition and error-bounded progressive
+//! retrieval.
+//!
+//! This crate is the substrate the paper builds on: a from-scratch
+//! reimplementation of the progressive path of MGARD (Ainsworth et al. 2019,
+//! Liang et al. SC'21). The pipeline is
+//!
+//! ```text
+//!   field ──decompose──▶ multilevel coefficients ──interleave──▶ per-level 1-D
+//!         ──negabinary bit-plane encode──▶ planes + sizes S[l][k]
+//!         ──collect──▶ error matrix Err[l][b]
+//! ```
+//!
+//! and on retrieval
+//!
+//! ```text
+//!   error bound e ──estimator──▶ plane counts b_l ──fetch & decode──▶
+//!   coefficients ──recompose──▶ approximation with max error ≤ e
+//! ```
+//!
+//! The *theory* estimator bounds the reconstruction error by
+//! `est(b) = Σ_l C_l · Err[l][b_l]` with per-level constants `C_l` derived
+//! from absolute-row-sum operator norms (see [`estimate`]); it is provably an
+//! upper bound and — exactly as the paper criticises — pessimistic by orders
+//! of magnitude because per-coefficient errors cancel in reality. The
+//! DNN-based retrievers in `pmr-core` plug in either predicted plane counts
+//! (D-MGARD) or learned constants `C_l` (E-MGARD) through the hooks exposed
+//! by [`retrieve`] and [`compress`].
+
+pub mod bitplane;
+pub mod compress;
+pub mod decompose;
+pub mod estimate;
+pub mod persist;
+pub mod retrieve;
+pub mod session;
+pub mod transform;
+
+pub use bitplane::{LevelEncoding, DEFAULT_BITPLANES};
+pub use compress::{CompressConfig, Compressed};
+pub use decompose::{Decomposer, TransformMode};
+pub use estimate::theory_constants;
+pub use retrieve::{greedy_plan, plan_size, refine_plan, RetrievalPlan};
+pub use session::ProgressiveSession;

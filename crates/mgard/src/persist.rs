@@ -1,0 +1,212 @@
+//! On-disk persistence of compressed artifacts.
+//!
+//! The format is self-contained and versioned: everything retrieval needs —
+//! plane payloads, the collected error matrix, quantization steps, the
+//! decomposition parameters, the value range — round-trips, so an artifact
+//! written by a producer can be progressively read elsewhere.
+//!
+//! ```text
+//! magic "PMRC1\0"
+//! name        u32 len + UTF-8 bytes
+//! timestep    u64
+//! shape       u32 ndim + 3 x u32 dims
+//! levels L    u32
+//! mode        u8 (0 = Interpolation, 1 = L2Projection)
+//! value_range f64
+//! per level:  u64 count, u32 num_planes, f64 step,
+//!             (B+1) x f64 error row,
+//!             B x (u32 len + payload bytes)
+//! ```
+
+use crate::bitplane::LevelEncoding;
+use crate::compress::Compressed;
+use crate::decompose::{Decomposer, TransformMode};
+use pmr_field::Shape;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 6] = b"PMRC1\0";
+
+/// Serialize an artifact to bytes.
+pub fn to_bytes(c: &Compressed) -> Vec<u8> {
+    let mut out = Vec::with_capacity(c.total_bytes() as usize + 4096);
+    out.extend_from_slice(MAGIC);
+    let name = c.name().as_bytes();
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(c.timestep() as u64).to_le_bytes());
+    let shape = c.shape();
+    out.extend_from_slice(&(shape.ndim() as u32).to_le_bytes());
+    for d in 0..3 {
+        out.extend_from_slice(&(shape.dim(d) as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&(c.num_levels() as u32).to_le_bytes());
+    out.push(match c.decomposer().mode() {
+        TransformMode::Interpolation => 0,
+        TransformMode::L2Projection => 1,
+    });
+    out.extend_from_slice(&c.value_range().to_le_bytes());
+    for lvl in c.levels() {
+        out.extend_from_slice(&lvl.to_bytes());
+    }
+    out
+}
+
+/// Deserialize an artifact previously produced by [`to_bytes`].
+pub fn from_bytes(buf: &[u8]) -> Option<Compressed> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = buf.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(s)
+    };
+    let u32_at = |pos: &mut usize| -> Option<u32> {
+        Some(u32::from_le_bytes(take(pos, 4)?.try_into().ok()?))
+    };
+    let u64_at = |pos: &mut usize| -> Option<u64> {
+        Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+    };
+    let f64_at = |pos: &mut usize| -> Option<f64> {
+        Some(f64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+    };
+
+    if take(&mut pos, 6)? != MAGIC {
+        return None;
+    }
+    let name_len = u32_at(&mut pos)? as usize;
+    if name_len > 4096 {
+        return None;
+    }
+    let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
+    let timestep = u64_at(&mut pos)? as usize;
+    let ndim = u32_at(&mut pos)? as usize;
+    let dx = u32_at(&mut pos)? as usize;
+    let dy = u32_at(&mut pos)? as usize;
+    let dz = u32_at(&mut pos)? as usize;
+    // Cap the grid size well below anything a corrupted header could use
+    // to drive an enormous allocation (2^28 points = 2 GiB of f64).
+    if dx == 0 || dy == 0 || dz == 0 || dx.checked_mul(dy)?.checked_mul(dz)? > (1 << 28) {
+        return None;
+    }
+    let shape = match ndim {
+        1 => Shape::d1(dx),
+        2 => Shape::d2(dx, dy),
+        3 => Shape::d3(dx, dy, dz),
+        _ => return None,
+    };
+    let num_levels = u32_at(&mut pos)? as usize;
+    if num_levels == 0 || num_levels > 64 {
+        return None;
+    }
+    let mode = match take(&mut pos, 1)?[0] {
+        0 => TransformMode::Interpolation,
+        1 => TransformMode::L2Projection,
+        _ => return None,
+    };
+    let value_range = f64_at(&mut pos)?;
+
+    let decomposer = Decomposer::new(shape, num_levels, mode);
+    if decomposer.levels() != num_levels {
+        return None; // stored level count impossible for this shape
+    }
+
+    let mut levels = Vec::with_capacity(num_levels);
+    for _ in 0..num_levels {
+        let (enc, used) = LevelEncoding::from_bytes(buf.get(pos..)?)?;
+        pos += used;
+        levels.push(enc);
+    }
+    if pos != buf.len() {
+        return None;
+    }
+    Compressed::from_parts(name, timestep, decomposer, levels, value_range)
+}
+
+/// Write an artifact to `path`, creating parent directories.
+pub fn save(c: &Compressed, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = io::BufWriter::new(fs::File::create(path)?);
+    f.write_all(&to_bytes(c))?;
+    f.flush()
+}
+
+/// Read an artifact previously written with [`save`].
+pub fn load(path: &Path) -> io::Result<Compressed> {
+    let mut buf = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed artifact"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::CompressConfig;
+    use pmr_field::{error::max_abs_error, Field};
+
+    fn artifact() -> (Field, Compressed) {
+        let field = Field::from_fn("J_x", 11, Shape::d3(9, 7, 5), |x, y, z| {
+            ((x as f64) * 0.6).sin() * ((y as f64) * 0.2).cos() + (z as f64) * 0.03
+        });
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        (field, c)
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_retrieval() {
+        let (field, c) = artifact();
+        let rt = from_bytes(&to_bytes(&c)).expect("roundtrip");
+        assert_eq!(rt.name(), "J_x");
+        assert_eq!(rt.timestep(), 11);
+        assert_eq!(rt.num_levels(), c.num_levels());
+        assert_eq!(rt.value_range(), c.value_range());
+        for bound in [1e-2, 1e-4] {
+            let abs = c.absolute_bound(bound);
+            let p1 = c.plan_theory(abs);
+            let p2 = rt.plan_theory(abs);
+            assert_eq!(p1, p2);
+            let r1 = c.retrieve(&p1);
+            let r2 = rt.retrieve(&p2);
+            assert_eq!(r1.data(), r2.data());
+            assert!(max_abs_error(field.data(), r2.data()) <= abs);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_, c) = artifact();
+        let dir = std::env::temp_dir().join("pmr_persist_test");
+        let path = dir.join("artifact.pmrc");
+        save(&c, &path).unwrap();
+        let rt = load(&path).unwrap();
+        assert_eq!(rt.total_bytes(), c.total_bytes());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_inputs_rejected_without_panic() {
+        let (_, c) = artifact();
+        let bytes = to_bytes(&c);
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_none());
+        assert!(from_bytes(&[]).is_none());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(from_bytes(&bad_magic).is_none());
+        // Flip the stored level count to an impossible value.
+        let mut bad = bytes.clone();
+        // magic(6) + name_len(4) + name(3) + ts(8) + shape(16) = offset 37
+        bad[37] = 63;
+        assert!(from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn truncated_tail_rejected() {
+        let (_, c) = artifact();
+        let mut bytes = to_bytes(&c);
+        bytes.push(0); // trailing garbage
+        assert!(from_bytes(&bytes).is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! The greedy bit-plane retriever and size interpreter.
+//!
+//! Given per-level encoded planes, an error-estimation rule (theory
+//! constants or E-MGARD's learned constants) and a target bound `e`, the
+//! retriever fetches planes in order of **accuracy efficiency** — estimated
+//! error reduction per compressed byte (paper §III-C) — until the estimate
+//! satisfies the bound. Planes within a level are inherently sequential
+//! (plane `k+1` refines plane `k`), so the plan is fully described by one
+//! count `b_l` per level.
+
+use crate::bitplane::LevelEncoding;
+use serde::{Deserialize, Serialize};
+
+/// A retrieval decision: how many planes to fetch from each level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalPlan {
+    /// `b_l` per coefficient level.
+    pub planes: Vec<u32>,
+    /// The estimator's error value at this plan (`f64::INFINITY` when no
+    /// estimator was involved, e.g. for externally predicted plans).
+    pub estimated_error: f64,
+}
+
+impl RetrievalPlan {
+    /// A plan with explicit plane counts and no error estimate attached
+    /// (used by D-MGARD, which predicts the counts directly).
+    pub fn from_planes(planes: Vec<u32>) -> Self {
+        RetrievalPlan { planes, estimated_error: f64::INFINITY }
+    }
+}
+
+/// Greedy plan: fetch planes by accuracy efficiency until
+/// `Σ_l constants[l] · Err[l][b_l] <= err_bound`.
+///
+/// If the bound is unreachable even with every plane (possible only for
+/// bounds below the quantization floor), the plan holds all planes.
+pub fn greedy_plan(
+    levels: &[LevelEncoding],
+    constants: &[f64],
+    err_bound: f64,
+) -> RetrievalPlan {
+    assert_eq!(levels.len(), constants.len(), "constants/levels mismatch");
+    assert!(err_bound >= 0.0, "error bound must be non-negative");
+    let mut b: Vec<u32> = vec![0; levels.len()];
+    let mut est: f64 = levels
+        .iter()
+        .zip(constants)
+        .map(|(l, &c)| c * l.error_at(0))
+        .sum();
+
+    while est > err_bound {
+        // Pick the level whose next plane gives the best error reduction
+        // per byte. Zero-gain planes are still admissible (efficiency 0) so
+        // the loop always progresses toward exhaustion.
+        let mut best: Option<(usize, f64)> = None;
+        for (l, lvl) in levels.iter().enumerate() {
+            if b[l] >= lvl.num_planes() {
+                continue;
+            }
+            let gain = constants[l] * (lvl.error_at(b[l]) - lvl.error_at(b[l] + 1)).max(0.0);
+            let cost = lvl.plane_size(b[l]).max(1) as f64;
+            let eff = gain / cost;
+            if best.is_none_or(|(_, be)| eff > be) {
+                best = Some((l, eff));
+            }
+        }
+        let Some((l, _)) = best else {
+            break; // every plane of every level fetched
+        };
+        let old = constants[l] * levels[l].error_at(b[l]);
+        b[l] += 1;
+        let new = constants[l] * levels[l].error_at(b[l]);
+        est += new - old;
+    }
+
+    RetrievalPlan { planes: b, estimated_error: est }
+}
+
+/// Refine an externally predicted plan against an error estimate:
+/// greedily *add* planes while `Σ constants[l]·Err[l][b_l] > err_bound`,
+/// then greedily *remove* planes whose absence keeps the estimate within
+/// the bound, dropping the cheapest error contribution per byte first.
+///
+/// This is the primitive behind the combined D-MGARD + E-MGARD retriever
+/// (the paper's §IV closing future-work item): D-MGARD supplies the
+/// starting counts, E-MGARD the constants.
+pub fn refine_plan(
+    levels: &[LevelEncoding],
+    constants: &[f64],
+    err_bound: f64,
+    initial: &[u32],
+) -> RetrievalPlan {
+    assert_eq!(levels.len(), constants.len(), "constants/levels mismatch");
+    assert_eq!(levels.len(), initial.len(), "initial plan/levels mismatch");
+    let mut b: Vec<u32> = initial
+        .iter()
+        .zip(levels)
+        .map(|(&p, lvl)| p.min(lvl.num_planes()))
+        .collect();
+    let mut est: f64 = levels
+        .iter()
+        .zip(constants)
+        .zip(&b)
+        .map(|((l, &c), &bl)| c * l.error_at(bl))
+        .sum();
+
+    // Grow: identical policy to `greedy_plan`.
+    while est > err_bound {
+        let mut best: Option<(usize, f64)> = None;
+        for (l, lvl) in levels.iter().enumerate() {
+            if b[l] >= lvl.num_planes() {
+                continue;
+            }
+            let gain = constants[l] * (lvl.error_at(b[l]) - lvl.error_at(b[l] + 1)).max(0.0);
+            let cost = lvl.plane_size(b[l]).max(1) as f64;
+            let eff = gain / cost;
+            if best.is_none_or(|(_, be)| eff > be) {
+                best = Some((l, eff));
+            }
+        }
+        let Some((l, _)) = best else { break };
+        let old = constants[l] * levels[l].error_at(b[l]);
+        b[l] += 1;
+        est += constants[l] * levels[l].error_at(b[l]) - old;
+    }
+
+    // Shrink: drop the plane that frees the most bytes per unit of added
+    // estimated error, as long as the bound still holds.
+    loop {
+        let mut best: Option<(usize, f64, f64)> = None; // (level, new_est, score)
+        for (l, lvl) in levels.iter().enumerate() {
+            if b[l] == 0 {
+                continue;
+            }
+            let added = constants[l] * (lvl.error_at(b[l] - 1) - lvl.error_at(b[l]));
+            let new_est = est + added;
+            if new_est > err_bound {
+                continue;
+            }
+            let freed = lvl.plane_size(b[l] - 1).max(1) as f64;
+            let score = freed / (added + f64::MIN_POSITIVE);
+            if best.is_none_or(|(_, _, bs)| score > bs) {
+                best = Some((l, new_est, score));
+            }
+        }
+        let Some((l, new_est, _)) = best else { break };
+        b[l] -= 1;
+        est = new_est;
+    }
+
+    RetrievalPlan { planes: b, estimated_error: est }
+}
+
+/// The size interpreter: compressed bytes fetched under `plan`
+/// (Equation 1 of the paper).
+pub fn plan_size(levels: &[LevelEncoding], plan: &RetrievalPlan) -> u64 {
+    assert_eq!(levels.len(), plan.planes.len(), "plan/levels mismatch");
+    levels.iter().zip(&plan.planes).map(|(l, &b)| l.size_of_first(b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_levels() -> Vec<LevelEncoding> {
+        // Three levels with different magnitudes and counts.
+        let l0: Vec<f64> = (0..8).map(|i| (i as f64 - 3.5) * 2.0).collect();
+        let l1: Vec<f64> = (0..32).map(|i| ((i as f64) * 0.71).sin()).collect();
+        let l2: Vec<f64> = (0..128).map(|i| ((i as f64) * 0.37).cos() * 0.1).collect();
+        vec![
+            LevelEncoding::encode(&l0, 16),
+            LevelEncoding::encode(&l1, 16),
+            LevelEncoding::encode(&l2, 16),
+        ]
+    }
+
+    #[test]
+    fn zero_bound_fetches_everything_available() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let plan = greedy_plan(&levels, &constants, 0.0);
+        // Quantization floor is positive, so the bound is unreachable and
+        // every plane is fetched.
+        for (l, lvl) in levels.iter().enumerate() {
+            assert_eq!(plan.planes[l], lvl.num_planes());
+        }
+    }
+
+    #[test]
+    fn huge_bound_fetches_nothing() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let plan = greedy_plan(&levels, &constants, 1e9);
+        assert_eq!(plan.planes, vec![0, 0, 0]);
+        assert_eq!(plan_size(&levels, &plan), 0);
+    }
+
+    #[test]
+    fn estimate_respects_bound_when_reachable() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        for bound in [1.0, 0.1, 1e-2, 1e-3] {
+            let plan = greedy_plan(&levels, &constants, bound);
+            assert!(
+                plan.estimated_error <= bound,
+                "bound={bound} est={}",
+                plan.estimated_error
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_bounds_fetch_more_bytes() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let mut prev = 0;
+        for bound in [10.0, 1.0, 0.1, 1e-2, 1e-3, 1e-4] {
+            let plan = greedy_plan(&levels, &constants, bound);
+            let size = plan_size(&levels, &plan);
+            assert!(size >= prev, "bound={bound} size={size} prev={prev}");
+            prev = size;
+        }
+    }
+
+    #[test]
+    fn larger_constants_fetch_more() {
+        let levels = toy_levels();
+        let small = greedy_plan(&levels, &[1.0, 1.0, 1.0], 0.05);
+        let large = greedy_plan(&levels, &[8.0, 8.0, 8.0], 0.05);
+        assert!(plan_size(&levels, &large) >= plan_size(&levels, &small));
+    }
+
+    #[test]
+    fn plan_size_accumulates_per_level_prefixes() {
+        let levels = toy_levels();
+        let plan = RetrievalPlan::from_planes(vec![3, 1, 0]);
+        let expected =
+            levels[0].size_of_first(3) + levels[1].size_of_first(1) + levels[2].size_of_first(0);
+        assert_eq!(plan_size(&levels, &plan), expected);
+    }
+
+    #[test]
+    fn from_planes_has_no_estimate() {
+        let p = RetrievalPlan::from_planes(vec![1, 2]);
+        assert!(p.estimated_error.is_infinite());
+    }
+
+    #[test]
+    fn refine_grows_underestimating_plans() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let bound = 1e-3;
+        let refined = refine_plan(&levels, &constants, bound, &[0, 0, 0]);
+        assert!(refined.estimated_error <= bound);
+        // The grow phase matches greedy; the shrink phase may then drop
+        // planes greedy over-fetched, so refine is never larger.
+        let greedy = greedy_plan(&levels, &constants, bound);
+        assert!(plan_size(&levels, &refined) <= plan_size(&levels, &greedy));
+    }
+
+    #[test]
+    fn refine_shrinks_overestimating_plans() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let bound = 0.5;
+        let all: Vec<u32> = levels.iter().map(|l| l.num_planes()).collect();
+        let refined = refine_plan(&levels, &constants, bound, &all);
+        assert!(refined.estimated_error <= bound);
+        assert!(
+            plan_size(&levels, &refined) < levels.iter().map(|l| l.total_size()).sum::<u64>(),
+            "shrink pass should drop planes"
+        );
+    }
+
+    #[test]
+    fn refine_keeps_feasible_plans_feasible() {
+        let levels = toy_levels();
+        let constants = vec![2.0, 1.0, 0.5];
+        for bound in [1.0, 1e-2, 1e-4] {
+            for start in [vec![0u32, 5, 10], vec![16, 16, 16], vec![3, 3, 3]] {
+                let plan = refine_plan(&levels, &constants, bound, &start);
+                let full_est: f64 = levels
+                    .iter()
+                    .zip(&constants)
+                    .map(|(l, &c)| c * l.error_at(l.num_planes()))
+                    .sum();
+                if full_est <= bound {
+                    assert!(plan.estimated_error <= bound, "bound={bound} start={start:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_clamps_out_of_range_initial_counts() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let plan = refine_plan(&levels, &constants, 1e9, &[99, 99, 99]);
+        assert!(plan.planes.iter().zip(&levels).all(|(&b, l)| b <= l.num_planes()));
+    }
+}

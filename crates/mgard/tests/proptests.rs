@@ -1,0 +1,136 @@
+//! Property tests for the MGARD-style substrate: transform invertibility,
+//! error-matrix correctness and the soundness of the theory bound.
+
+use pmr_field::{error::max_abs_error, Field, Shape};
+use pmr_mgard::{
+    decompose::{Decomposer, TransformMode},
+    estimate::{estimate_error, theory_constants},
+    CompressConfig, Compressed, LevelEncoding,
+};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (2usize..40).prop_map(Shape::d1),
+        (2usize..14, 2usize..14).prop_map(|(a, b)| Shape::d2(a, b)),
+        (2usize..8, 2usize..8, 2usize..8).prop_map(|(a, b, c)| Shape::d3(a, b, c)),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = TransformMode> {
+    prop_oneof![
+        Just(TransformMode::Interpolation),
+        Just(TransformMode::L2Projection)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decompose_recompose_identity(
+        shape in arb_shape(),
+        mode in arb_mode(),
+        levels in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let orig: Vec<f64> = (0..shape.len())
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect();
+        let dec = Decomposer::new(shape, levels, mode);
+        let mut data = orig.clone();
+        dec.decompose(&mut data);
+        dec.recompose(&mut data);
+        let err = orig.iter().zip(&data).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        prop_assert!(err < 1e-8, "err={err}");
+    }
+
+    #[test]
+    fn interleave_partition(shape in arb_shape(), levels in 1usize..6) {
+        let dec = Decomposer::new(shape, levels, TransformMode::Interpolation);
+        let groups = dec.level_indices();
+        prop_assert_eq!(groups.len(), dec.levels());
+        let mut seen = vec![false; shape.len()];
+        for g in &groups {
+            for &i in g {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn error_row_is_exact(
+        coeffs in proptest::collection::vec(-1e3f64..1e3, 1..200),
+        planes in 4u32..34,
+    ) {
+        let enc = LevelEncoding::encode(&coeffs, planes);
+        for b in [0, planes / 2, planes] {
+            let dec = enc.decode(b);
+            let actual = coeffs.iter().zip(&dec).map(|(a, d)| (a - d).abs()).fold(0.0f64, f64::max);
+            prop_assert!((actual - enc.error_at(b)).abs() <= 1e-9 * (1.0 + actual));
+        }
+    }
+
+    #[test]
+    fn theory_bound_is_sound(
+        side in 3usize..10,
+        mode in arb_mode(),
+        planes_used in 0u32..16,
+        seed in any::<u64>(),
+    ) {
+        let shape = Shape::cube(side);
+        let dec = Decomposer::new(shape, 4, mode);
+        let orig: Vec<f64> = (0..shape.len())
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x2545F4914F6CDD1D);
+                ((h >> 12) as f64 / (1u64 << 52) as f64).sin() * 50.0
+            })
+            .collect();
+        let mut data = orig.clone();
+        dec.decompose(&mut data);
+        let levels: Vec<LevelEncoding> =
+            dec.interleave(&data).iter().map(|c| LevelEncoding::encode(c, 16)).collect();
+        let constants = theory_constants(&dec);
+        let b = vec![planes_used; levels.len()];
+        let est = estimate_error(&levels, &constants, &b);
+
+        let truncated: Vec<Vec<f64>> = levels.iter().map(|l| l.decode(planes_used)).collect();
+        let mut rec = dec.deinterleave(&truncated);
+        dec.recompose(&mut rec);
+        let actual = orig.iter().zip(&rec).map(|(a, r)| (a - r).abs()).fold(0.0f64, f64::max);
+        prop_assert!(actual <= est * (1.0 + 1e-9) + 1e-12, "actual={actual} est={est}");
+    }
+
+    #[test]
+    fn greedy_plan_monotone_in_bound(seed in any::<u64>()) {
+        let shape = Shape::cube(7);
+        let field = Field::from_fn("p", 0, shape, |x, y, z| {
+            let h = ((x + 31 * y + 997 * z) as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        });
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let mut prev_size = u64::MAX;
+        for bound in [1.0, 1e-1, 1e-2, 1e-3, 1e-4] {
+            let plan = c.plan_theory(bound);
+            let size = c.retrieved_bytes(&plan);
+            prop_assert!(size <= c.total_bytes());
+            if prev_size != u64::MAX {
+                prop_assert!(size >= prev_size, "size must grow as bound tightens");
+            }
+            prev_size = size;
+            // Bound respected by the actual reconstruction whenever the
+            // estimator claims success.
+            if plan.estimated_error <= bound {
+                let rec = c.retrieve(&plan);
+                prop_assert!(max_abs_error(field.data(), rec.data()) <= bound);
+            }
+        }
+    }
+}

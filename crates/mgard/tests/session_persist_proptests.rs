@@ -1,0 +1,116 @@
+//! Property tests for progressive sessions, plan refinement and artifact
+//! persistence.
+
+use pmr_field::{Field, Shape};
+use pmr_mgard::{
+    persist, refine_plan, CompressConfig, Compressed, ProgressiveSession, RetrievalPlan,
+    TransformMode,
+};
+use proptest::prelude::*;
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    (3usize..8, 3usize..8, 1usize..6, any::<u64>()).prop_map(|(nx, ny, nz, seed)| {
+        let shape = Shape::d3(nx, ny, nz);
+        Field::from_fn("p", 0, shape, move |x, y, z| {
+            let h = ((x + 31 * y + 977 * z) as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            (h >> 11) as f64 / (1u64 << 53) as f64 * 10.0 - 5.0
+        })
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = CompressConfig> {
+    (2usize..6, 6u32..24, prop_oneof![
+        Just(TransformMode::Interpolation),
+        Just(TransformMode::L2Projection)
+    ])
+        .prop_map(|(levels, num_planes, mode)| CompressConfig { levels, num_planes, mode })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn persistence_roundtrip_any_artifact(field in arb_field(), cfg in arb_config()) {
+        let c = Compressed::compress(&field, &cfg);
+        let rt = persist::from_bytes(&persist::to_bytes(&c)).expect("roundtrip");
+        prop_assert_eq!(rt.num_levels(), c.num_levels());
+        let plan = c.plan_theory(c.absolute_bound(1e-3));
+        let plan_rt = rt.plan_theory(rt.absolute_bound(1e-3));
+        prop_assert_eq!(&plan, &plan_rt);
+        let r1 = c.retrieve(&plan);
+        let r2 = rt.retrieve(&plan_rt);
+        prop_assert_eq!(r1.data(), r2.data());
+    }
+
+    #[test]
+    fn persistence_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Must reject or parse, never panic.
+        let _ = persist::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn persistence_never_panics_on_mutations(
+        field in arb_field(),
+        flip_at in any::<prop::sample::Index>(),
+        new_byte in any::<u8>(),
+    ) {
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let mut bytes = persist::to_bytes(&c);
+        let idx = flip_at.index(bytes.len());
+        bytes[idx] = new_byte;
+        if let Some(rt) = persist::from_bytes(&bytes) {
+            // If the mutation survived validation it must still be usable.
+            let plan = rt.plan_full();
+            let _ = rt.retrieved_bytes(&plan);
+        }
+    }
+
+    #[test]
+    fn session_monotone_and_consistent(
+        field in arb_field(),
+        bounds in proptest::collection::vec(1e-7f64..1.0, 1..6),
+    ) {
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let mut session = ProgressiveSession::new(&c);
+        let mut prev_planes = vec![0u32; c.num_levels()];
+        let mut total = 0u64;
+        for &rel in &bounds {
+            let delta = session.refine_theory(c.absolute_bound(rel));
+            total += delta;
+            // Monotone: plane counts never decrease.
+            prop_assert!(session
+                .planes()
+                .iter()
+                .zip(&prev_planes)
+                .all(|(&now, &before)| now >= before));
+            prev_planes = session.planes().to_vec();
+        }
+        prop_assert_eq!(session.fetched_bytes(), total);
+        // Fetched bytes equal a direct fetch of the final plane counts.
+        let direct = c.retrieved_bytes(&RetrievalPlan::from_planes(prev_planes));
+        prop_assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn refine_plan_estimate_is_self_consistent(
+        field in arb_field(),
+        bound_exp in -8f64..0.0,
+        start_fill in 0u32..20,
+    ) {
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let bound = c.absolute_bound(10f64.powf(bound_exp));
+        let start = vec![start_fill; c.num_levels()];
+        let plan = refine_plan(c.levels(), c.theory_constants(), bound, &start);
+        // The reported estimate matches an independent recomputation.
+        let est = c.estimate_for(&plan.planes);
+        prop_assert!((plan.estimated_error - est).abs() <= 1e-9 * (1.0 + est));
+        // And the plan is achievable: bound respected whenever claimed.
+        if plan.estimated_error <= bound {
+            let rec = c.retrieve(&plan);
+            let err = pmr_field::error::max_abs_error(field.data(), rec.data());
+            prop_assert!(err <= bound * (1.0 + 1e-12));
+        }
+    }
+}

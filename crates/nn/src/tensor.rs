@@ -1,0 +1,249 @@
+//! Row-major `f32` matrices with the matmul variants backprop needs.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match dimensions");
+        Matrix { rows, cols, data }
+    }
+
+    /// Matrix from row slices (all rows must share one length).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// A `1 × n` matrix from one row.
+    pub fn row_vector(row: &[f32]) -> Self {
+        Matrix::from_vec(1, row.len(), row.to_vec())
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Rows selected by `idx`, in order (for mini-batching).
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &r in idx {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix { rows: idx.len(), cols: self.cols, data }
+    }
+
+    /// `self (m×k) · other (k×n) -> m×n` (ikj loop order for locality).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Matrix { rows: m, cols: n, data: out }
+    }
+
+    /// `selfᵀ (m×k) · other (k→rows of self... )`: computes `Aᵀ B` where
+    /// `A = self (k×m)` and `B = other (k×n)`, yielding `m×n`. Used for
+    /// `dW = Xᵀ dY`.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Matrix { rows: m, cols: n, data: out }
+    }
+
+    /// `A Bᵀ` where `A = self (m×k)` and `B = other (n×k)`, yielding `m×n`.
+    /// Used for `dX = dY Wᵀ`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Matrix { rows: m, cols: n, data: out }
+    }
+
+    /// Add `bias` (length = cols) to every row.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column sums (length = cols). Used for `db`.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for row in self.data.chunks_exact(self.cols) {
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Append `other`'s columns to the right of `self`'s (equal row counts).
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn t_matmul_equals_transpose_then_matmul() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]); // 3x2
+        let b = Matrix::from_vec(3, 2, vec![0.5, -1., 2., 0., 1., 3.]); // 3x2
+        let c = a.t_matmul(&b); // 2x2 = Aᵀ B
+        // Aᵀ = [[1,3,5],[2,4,6]]
+        assert_eq!(c.get(0, 0), 1. * 0.5 + 3. * 2. + 5. * 1.);
+        assert_eq!(c.get(1, 1), -2. + 4. * 0. + 6. * 3.);
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_with_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]); // 2x3
+        let b = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32).collect()); // 4x3
+        let c = a.matmul_t(&b); // 2x4
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 4);
+        assert_eq!(c.get(0, 0), 1. * 0. + 2. * 1. + 3. * 2.);
+        assert_eq!(c.get(1, 3), 4. * 9. + 5. * 10. + 6. * 11.);
+    }
+
+    #[test]
+    fn bias_and_colsums() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_bias(&[1.0, -2.0]);
+        assert_eq!(m.col_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn select_rows_orders() {
+        let m = Matrix::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.data(), &[20., 21., 0., 1.]);
+    }
+
+    #[test]
+    fn hstack_concatenates() {
+        let a = Matrix::from_vec(2, 1, vec![1., 2.]);
+        let b = Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let c = a.hstack(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(1), &[2., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_matmul_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,24 @@
+//! Scientific dataset generators for the progressive-retrieval evaluation.
+//!
+//! The paper evaluates on two applications (Table II):
+//!
+//! * **Gray-Scott** — a 3-D reaction–diffusion simulation; [`gray_scott`]
+//!   implements the actual Pearson '93 model with an explicit Euler
+//!   integrator and periodic boundaries, producing the `D_u`, `D_v` fields.
+//! * **WarpX** — laser-driven electron acceleration. We cannot run WarpX
+//!   itself, so [`warpx`] provides a *synthetic* laser–plasma generator with
+//!   the same controllable knobs the paper sweeps (timestep, laser peak
+//!   amplitude `a0`, electron density `n_e`, laser duration `τ`) producing
+//!   the fields `B_x`, `E_x`, `J_x`. See DESIGN.md §2 for why this
+//!   substitution preserves the evaluated behaviour.
+//!
+//! [`cache`] persists generated snapshots to disk so that benches and
+//! examples do not regenerate them on every run.
+
+pub mod cache;
+pub mod gray_scott;
+pub mod warpx;
+
+pub use cache::DatasetCache;
+pub use gray_scott::{GrayScott, GrayScottConfig, GsSpecies};
+pub use warpx::{warpx_field, WarpXConfig, WarpXField};

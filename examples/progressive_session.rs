@@ -1,0 +1,68 @@
+//! Artifact persistence + progressive sessions: write a compressed field to
+//! disk, reopen it elsewhere, and refine a reconstruction step by step —
+//! each refinement fetching only the planes not yet held.
+//!
+//! ```sh
+//! cargo run --release --example progressive_session
+//! ```
+
+use pmr::field::error::max_abs_error;
+use pmr::mgard::{persist, CompressConfig, Compressed, ProgressiveSession};
+use pmr::sim::{warpx_field, WarpXConfig, WarpXField};
+use pmr::storage::{optimize_placement, retrieval_cost, AccessProfile, StorageHierarchy};
+
+fn main() {
+    let wcfg = WarpXConfig { size: 33, snapshots: 8, ..Default::default() };
+    let field = warpx_field(&wcfg, WarpXField::Jx, 4);
+
+    // Producer side: compress and persist.
+    let compressed = Compressed::compress(&field, &CompressConfig::default());
+    let path = std::env::temp_dir().join("pmr_example_artifact.pmrc");
+    persist::save(&compressed, &path).expect("write artifact");
+    println!(
+        "wrote {} ({} bytes payload, {} levels)",
+        path.display(),
+        compressed.total_bytes(),
+        compressed.num_levels()
+    );
+
+    // Consumer side: reopen and refine progressively.
+    let reopened = persist::load(&path).expect("read artifact");
+    let mut session = ProgressiveSession::new(&reopened);
+    println!("\n{:>10}  {:>12}  {:>12}  {:>12}", "rel_bound", "delta_bytes", "total_bytes", "max_error");
+    for rel in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5] {
+        let delta = session.refine_theory(reopened.absolute_bound(rel));
+        let approx = session.current_field();
+        let err = max_abs_error(field.data(), approx.data());
+        println!(
+            "{rel:>10.0e}  {delta:>12}  {:>12}  {err:>12.3e}",
+            session.fetched_bytes()
+        );
+    }
+
+    // Placement: optimise level->tier assignment for a loose-bound-heavy
+    // access profile on a capacity-constrained hierarchy.
+    let hierarchy = StorageHierarchy::summit_like();
+    let profile = AccessProfile::from_bounds(
+        &reopened,
+        &[reopened.absolute_bound(1e-1), reopened.absolute_bound(1e-2)],
+    );
+    let sizes: u64 = reopened.levels().iter().map(|l| l.total_size()).sum();
+    let caps = vec![sizes / 3, sizes, u64::MAX, u64::MAX];
+    let placement = optimize_placement(&reopened, &profile, &hierarchy, &caps);
+    println!("\noptimised placement under a fast-tier capacity of {} bytes:", caps[0]);
+    for l in 0..reopened.num_levels() {
+        println!(
+            "  level_{l} -> {}",
+            hierarchy.tiers()[placement.tier_of(l)].name
+        );
+    }
+    let plan = reopened.plan_theory(reopened.absolute_bound(1e-2));
+    let cost = retrieval_cost(&reopened, &plan, &hierarchy, &placement);
+    println!(
+        "retrieval at rel 1e-2 under this placement: {} bytes in {:.4} s",
+        cost.bytes, cost.seconds
+    );
+
+    std::fs::remove_file(&path).ok();
+}

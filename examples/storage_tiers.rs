@@ -1,0 +1,54 @@
+//! Placing coefficient levels across a Summit-like storage hierarchy and
+//! accounting the retrieval wall time at different accuracy targets.
+//!
+//! ```sh
+//! cargo run --release --example storage_tiers
+//! ```
+
+use pmr::field::Field;
+use pmr::mgard::{CompressConfig, Compressed};
+use pmr::sim::{warpx_field, WarpXConfig, WarpXField};
+use pmr::storage::{retrieval_cost, Placement, StorageHierarchy};
+
+fn main() {
+    let wcfg = WarpXConfig { size: 33, snapshots: 8, ..Default::default() };
+    let field: Field = warpx_field(&wcfg, WarpXField::Ex, 4);
+    let compressed = Compressed::compress(&field, &CompressConfig::default());
+
+    let hierarchy = StorageHierarchy::summit_like();
+    let placement = Placement::coarse_fast(compressed.num_levels(), &hierarchy);
+
+    println!("level placement (coarse levels on fast tiers):");
+    for l in 0..compressed.num_levels() {
+        let tier = &hierarchy.tiers()[placement.tier_of(l)];
+        println!(
+            "  level_{l} -> {:>5}  ({} bytes)",
+            tier.name,
+            compressed.levels()[l].total_size()
+        );
+    }
+
+    println!("\n{:>10}  {:>10}  {:>12}  per-tier seconds", "rel_bound", "bytes", "seconds");
+    for rel in [1e-1, 1e-3, 1e-5, 1e-7] {
+        let plan = compressed.plan_theory(compressed.absolute_bound(rel));
+        let cost = retrieval_cost(&compressed, &plan, &hierarchy, &placement);
+        let per_tier: Vec<String> = hierarchy
+            .tiers()
+            .iter()
+            .zip(&cost.per_tier)
+            .map(|(t, (_, s))| format!("{}={:.3}", t.name, s))
+            .collect();
+        println!(
+            "{rel:>10.0e}  {:>10}  {:>12.4}  {}",
+            cost.bytes,
+            cost.seconds,
+            per_tier.join(" ")
+        );
+    }
+    println!(
+        "\nThe slow-tier latency dominates wall time once the finest level is touched;\n\
+         loose bounds cut the bytes drained from it. Placing the finest level on a\n\
+         warmer tier (or caching it) is exactly the placement decision this model\n\
+         lets an operator evaluate."
+    );
+}

@@ -1,0 +1,285 @@
+//! `pmrtool` — command-line front end for the progressive compressor.
+//!
+//! ```text
+//! pmrtool gen warpx <dir> [--size N] [--snapshots T] [--field Bx|Ex|Jx]
+//! pmrtool gen grayscott <dir> [--size N] [--snapshots T] [--species u|v]
+//! pmrtool compress <in.pmrf> <out.pmrc> [--levels L] [--planes B] [--mode interp|l2]
+//! pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x>)
+//! pmrtool info <in.pmrc>
+//! ```
+//!
+//! Field files use the `pmr-field` binary format (`.pmrf`); artifacts the
+//! `pmr-mgard` persistence format (`.pmrc`).
+
+use pmr::blockcodec::{persist as block_persist, BlockCompressed, BlockConfig};
+use pmr::field::io as field_io;
+use pmr::mgard::{persist, CompressConfig, Compressed, TransformMode};
+use pmr::sim::{warpx_field, GrayScott, GrayScottConfig, GsSpecies, WarpXConfig, WarpXField};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pmrtool gen warpx <dir> [--size N] [--snapshots T] [--field Bx|Ex|Jx]
+  pmrtool gen grayscott <dir> [--size N] [--snapshots T] [--species u|v]
+  pmrtool compress <in.pmrf> <out.pmrc> [--levels L] [--planes B] [--mode interp|l2]
+                   [--codec multilevel|block]
+  pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x>)
+  pmrtool info <in.pmrc>
+
+artifact files are self-describing: retrieve/info dispatch on the magic
+(multilevel .pmrc vs block-codec .pmrb).";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("compress") => compress(&args[1..]),
+        Some("retrieve") => retrieve(&args[1..]),
+        Some("info") => info(&args[1..]),
+        _ => Err("missing or unknown subcommand".into()),
+    }
+}
+
+/// Fetch the value following `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} requires a value")),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: {s}"))
+}
+
+fn positional<'a>(args: &'a [String], idx: usize, what: &str) -> Result<&'a str, String> {
+    // Every flag of this tool takes a value, so skip flags in pairs.
+    let mut found = 0usize;
+    let mut i = 0usize;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+            continue;
+        }
+        if found == idx {
+            return Ok(&args[i]);
+        }
+        found += 1;
+        i += 1;
+    }
+    Err(format!("missing {what}"))
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let app = positional(args, 0, "application (warpx|grayscott)")?;
+    let dir = PathBuf::from(positional(args, 1, "output directory")?);
+    let size: usize = match flag_value(args, "--size")? {
+        Some(v) => parse(v, "--size")?,
+        None => 33,
+    };
+    let snapshots: usize = match flag_value(args, "--snapshots")? {
+        Some(v) => parse(v, "--snapshots")?,
+        None => 8,
+    };
+    match app {
+        "warpx" => {
+            let field = match flag_value(args, "--field")?.unwrap_or("Jx") {
+                "Bx" => WarpXField::Bx,
+                "Ex" => WarpXField::Ex,
+                "Jx" => WarpXField::Jx,
+                other => return Err(format!("unknown field {other}")),
+            };
+            let cfg = WarpXConfig { size, snapshots, ..Default::default() };
+            for t in 0..snapshots {
+                let f = warpx_field(&cfg, field, t);
+                let path = dir.join(format!("{}_t{t:04}.pmrf", field.field_name()));
+                field_io::save(&f, &path).map_err(|e| e.to_string())?;
+                println!("wrote {}", path.display());
+            }
+            Ok(())
+        }
+        "grayscott" => {
+            let species = match flag_value(args, "--species")?.unwrap_or("u") {
+                "u" | "U" => GsSpecies::U,
+                "v" | "V" => GsSpecies::V,
+                other => return Err(format!("unknown species {other}")),
+            };
+            let cfg = GrayScottConfig { size, snapshots, ..Default::default() };
+            let mut result: Result<(), String> = Ok(());
+            GrayScott::new(cfg).run(|t, u, v| {
+                if result.is_err() {
+                    return;
+                }
+                let f = if species == GsSpecies::U { &u } else { &v };
+                let path = dir.join(format!("{}_t{t:04}.pmrf", species.field_name()));
+                match field_io::save(f, &path) {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(e) => result = Err(e.to_string()),
+                }
+            });
+            result
+        }
+        other => Err(format!("unknown application {other}")),
+    }
+}
+
+fn compress(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0, "input .pmrf")?;
+    let output = positional(args, 1, "output .pmrc")?;
+    if let Some(codec) = flag_value(args, "--codec")? {
+        match codec {
+            "multilevel" => {}
+            "block" => return compress_block(args, input, output),
+            other => return Err(format!("unknown codec {other} (multilevel|block)")),
+        }
+    }
+    let mut cfg = CompressConfig::default();
+    if let Some(v) = flag_value(args, "--levels")? {
+        cfg.levels = parse(v, "--levels")?;
+    }
+    if let Some(v) = flag_value(args, "--planes")? {
+        cfg.num_planes = parse(v, "--planes")?;
+    }
+    if let Some(v) = flag_value(args, "--mode")? {
+        cfg.mode = match v {
+            "interp" => TransformMode::Interpolation,
+            "l2" => TransformMode::L2Projection,
+            other => return Err(format!("unknown mode {other} (interp|l2)")),
+        };
+    }
+    let field = field_io::load(Path::new(input)).map_err(|e| e.to_string())?;
+    let compressed = Compressed::compress(&field, &cfg);
+    persist::save(&compressed, Path::new(output)).map_err(|e| e.to_string())?;
+    let raw = (field.len() * 8) as f64;
+    println!(
+        "{input} ({} points) -> {output}: {} bytes ({:.1}% of raw), {} levels x {} planes",
+        field.len(),
+        compressed.total_bytes(),
+        compressed.total_bytes() as f64 / raw * 100.0,
+        compressed.num_levels(),
+        compressed.num_planes()
+    );
+    Ok(())
+}
+
+fn compress_block(args: &[String], input: &str, output: &str) -> Result<(), String> {
+    let mut cfg = BlockConfig::default();
+    if let Some(v) = flag_value(args, "--planes")? {
+        cfg.num_planes = parse(v, "--planes")?;
+    }
+    let field = field_io::load(Path::new(input)).map_err(|e| e.to_string())?;
+    let compressed = BlockCompressed::compress(&field, &cfg);
+    block_persist::save(&compressed, Path::new(output)).map_err(|e| e.to_string())?;
+    let raw = (field.len() * 8) as f64;
+    println!(
+        "{input} ({} points) -> {output}: {} bytes ({:.1}% of raw), block codec x {} planes",
+        field.len(),
+        compressed.total_bytes(),
+        compressed.total_bytes() as f64 / raw * 100.0,
+        compressed.num_planes()
+    );
+    Ok(())
+}
+
+/// Read the first bytes of an artifact to decide its codec.
+fn sniff_codec(path: &Path) -> Result<&'static str, String> {
+    let mut buf = [0u8; 6];
+    let mut f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    std::io::Read::read_exact(&mut f, &mut buf).map_err(|e| e.to_string())?;
+    match &buf {
+        b"PMRC1\0" => Ok("multilevel"),
+        b"PMRB1\0" => Ok("block"),
+        _ => Err("unrecognised artifact magic".into()),
+    }
+}
+
+fn retrieve(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0, "input .pmrc")?;
+    let output = positional(args, 1, "output .pmrf")?;
+    if sniff_codec(Path::new(input))? == "block" {
+        return retrieve_block(args, input, output);
+    }
+    let compressed = persist::load(Path::new(input)).map_err(|e| e.to_string())?;
+    let abs = match (flag_value(args, "--rel")?, flag_value(args, "--abs")?) {
+        (Some(rel), None) => compressed.absolute_bound(parse(rel, "--rel")?),
+        (None, Some(abs)) => parse(abs, "--abs")?,
+        _ => return Err("exactly one of --rel or --abs is required".into()),
+    };
+    let plan = compressed.plan_theory(abs);
+    let field = compressed.retrieve(&plan);
+    field_io::save(&field, Path::new(output)).map_err(|e| e.to_string())?;
+    println!(
+        "retrieved {} of {} bytes ({:.1}%) for abs bound {abs:.3e} -> {output}",
+        compressed.retrieved_bytes(&plan),
+        compressed.total_bytes(),
+        compressed.retrieved_bytes(&plan) as f64 / compressed.total_bytes() as f64 * 100.0
+    );
+    Ok(())
+}
+
+fn retrieve_block(args: &[String], input: &str, output: &str) -> Result<(), String> {
+    let compressed = block_persist::load(Path::new(input)).map_err(|e| e.to_string())?;
+    let abs = match (flag_value(args, "--rel")?, flag_value(args, "--abs")?) {
+        (Some(rel), None) => compressed.value_range() * parse::<f64>(rel, "--rel")?,
+        (None, Some(abs)) => parse(abs, "--abs")?,
+        _ => return Err("exactly one of --rel or --abs is required".into()),
+    };
+    let b = compressed.plan(abs);
+    let field = compressed.retrieve(b);
+    field_io::save(&field, Path::new(output)).map_err(|e| e.to_string())?;
+    println!(
+        "retrieved {} of {} bytes ({} planes) for abs bound {abs:.3e} -> {output}",
+        compressed.bytes_for(b),
+        compressed.total_bytes(),
+        b
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let input = positional(args, 0, "input .pmrc")?;
+    if sniff_codec(Path::new(input))? == "block" {
+        let c = block_persist::load(Path::new(input)).map_err(|e| e.to_string())?;
+        println!("artifact: {input} (block codec)");
+        println!("  field:       {} (timestep {})", c.name(), c.timestep());
+        println!("  shape:       {}", c.shape());
+        println!("  planes:      {}", c.num_planes());
+        println!("  payload:     {} bytes", c.total_bytes());
+        println!("  value range: {:.6e}", c.value_range());
+        return Ok(());
+    }
+    let c = persist::load(Path::new(input)).map_err(|e| e.to_string())?;
+    println!("artifact: {input}");
+    println!("  field:       {} (timestep {})", c.name(), c.timestep());
+    println!("  shape:       {}", c.shape());
+    println!("  mode:        {:?}", c.decomposer().mode());
+    println!("  levels:      {} x {} planes", c.num_levels(), c.num_planes());
+    println!("  payload:     {} bytes", c.total_bytes());
+    println!("  value range: {:.6e}", c.value_range());
+    println!("  theory C_l:  {:?}", c.theory_constants());
+    println!("  per level:   count / total bytes / Err[l][0]");
+    for (l, lvl) in c.levels().iter().enumerate() {
+        println!(
+            "    level_{l}:  {:>8} / {:>9} / {:.3e}",
+            lvl.count(),
+            lvl.total_size(),
+            lvl.error_at(0)
+        );
+    }
+    Ok(())
+}

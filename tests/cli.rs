@@ -1,0 +1,144 @@
+//! End-to-end tests of the `pmrtool` command-line interface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pmrtool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmrtool"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmrtool_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_compress_info_retrieve_pipeline() {
+    let dir = tempdir("pipeline");
+    // Generate two WarpX snapshots.
+    let out = pmrtool()
+        .args(["gen", "warpx"])
+        .arg(&dir)
+        .args(["--size", "12", "--snapshots", "2", "--field", "Ex"])
+        .output()
+        .expect("run pmrtool gen");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    let field_path = dir.join("E_x_t0000.pmrf");
+    assert!(field_path.exists());
+
+    // Compress.
+    let artifact = dir.join("ex.pmrc");
+    let out = pmrtool()
+        .arg("compress")
+        .arg(&field_path)
+        .arg(&artifact)
+        .args(["--levels", "4", "--planes", "20", "--mode", "l2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "compress failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(artifact.exists());
+
+    // Info prints the metadata.
+    let out = pmrtool().arg("info").arg(&artifact).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("E_x"), "info output missing field name: {text}");
+    assert!(text.contains("12x12x12"));
+    assert!(text.contains("4 x 20 planes"));
+
+    // Retrieve at a relative bound and verify the reconstruction obeys it.
+    let restored = dir.join("restored.pmrf");
+    let out = pmrtool()
+        .arg("retrieve")
+        .arg(&artifact)
+        .arg(&restored)
+        .args(["--rel", "1e-3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "retrieve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let original = pmr::field::io::load(&field_path).unwrap();
+    let approx = pmr::field::io::load(&restored).unwrap();
+    let bound = 1e-3 * original.value_range();
+    let err = pmr::field::error::max_abs_error(original.data(), approx.data());
+    assert!(err <= bound, "bound {bound:.3e} violated ({err:.3e})");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn block_codec_pipeline() {
+    let dir = tempdir("block");
+    pmrtool()
+        .args(["gen", "warpx"])
+        .arg(&dir)
+        .args(["--size", "12", "--snapshots", "1", "--field", "Bx"])
+        .output()
+        .unwrap();
+    let field_path = dir.join("B_x_t0000.pmrf");
+    let artifact = dir.join("bx.pmrb");
+    let out = pmrtool()
+        .arg("compress")
+        .arg(&field_path)
+        .arg(&artifact)
+        .args(["--codec", "block", "--planes", "28"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Info dispatches on the magic.
+    let out = pmrtool().arg("info").arg(&artifact).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("block codec"));
+
+    // Retrieval respects the bound.
+    let restored = dir.join("restored.pmrf");
+    let out = pmrtool()
+        .arg("retrieve")
+        .arg(&artifact)
+        .arg(&restored)
+        .args(["--rel", "1e-4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let original = pmr::field::io::load(&field_path).unwrap();
+    let approx = pmr::field::io::load(&restored).unwrap();
+    let bound = 1e-4 * original.value_range();
+    let err = pmr::field::error::max_abs_error(original.data(), approx.data());
+    assert!(err <= bound, "bound {bound:.3e} violated ({err:.3e})");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn grayscott_generation_works() {
+    let dir = tempdir("gs");
+    let out = pmrtool()
+        .args(["gen", "grayscott"])
+        .arg(&dir)
+        .args(["--size", "8", "--snapshots", "2", "--species", "v"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("D_v_t0000.pmrf").exists());
+    assert!(dir.join("D_v_t0001.pmrf").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Unknown subcommand.
+    let out = pmrtool().arg("explode").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Retrieve without a bound.
+    let out = pmrtool().args(["retrieve", "a.pmrc", "b.pmrf"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Missing input file.
+    let out = pmrtool()
+        .args(["info", "/nonexistent/definitely_missing.pmrc"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
