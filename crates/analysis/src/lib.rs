@@ -117,8 +117,7 @@ pub fn total_variation(field: &Field) -> f64 {
         let stride = s.stride(d);
         for start in s.line_starts(d) {
             for i in 0..s.dim(d) - 1 {
-                tv += (field.data()[start + (i + 1) * stride]
-                    - field.data()[start + i * stride])
+                tv += (field.data()[start + (i + 1) * stride] - field.data()[start + i * stride])
                     .abs();
             }
         }
@@ -155,11 +154,7 @@ pub fn fidelity(original: &Field, approx: &Field) -> FidelityReport {
     let q1 = quantiles(original, &[0.05, 0.5, 0.95]);
     let q2 = quantiles(approx, &[0.05, 0.5, 0.95]);
     let range = original.value_range().max(f64::MIN_POSITIVE);
-    let qerr = q1
-        .iter()
-        .zip(&q2)
-        .map(|(a, b)| (a - b).abs() / range)
-        .fold(0.0f64, f64::max);
+    let qerr = q1.iter().zip(&q2).map(|(a, b)| (a - b).abs() / range).fold(0.0f64, f64::max);
     FidelityReport {
         histogram_l1: h1.l1_distance(&h2),
         isosurface_rel_err: if c1 > 0.0 { (c1 - c2).abs() / c1 } else { 0.0 },
@@ -215,9 +210,8 @@ mod tests {
     #[test]
     fn isosurface_counts_straddling_cells() {
         // A step function along x: only cells containing the step straddle.
-        let f = Field::from_fn("s", 0, Shape::d3(10, 4, 4), |x, _, _| {
-            if x < 5 { 0.0 } else { 1.0 }
-        });
+        let f =
+            Field::from_fn("s", 0, Shape::d3(10, 4, 4), |x, _, _| if x < 5 { 0.0 } else { 1.0 });
         let cells = isosurface_cells(&f, 0.5);
         assert_eq!(cells, 3 * 3); // one x-layer of 3x3 cells
     }
@@ -231,9 +225,7 @@ mod tests {
     #[test]
     fn noise_increases_fidelity_distances() {
         let f = wave();
-        let noisy = pmr_field::ops::zip_with(&f, &f, |a, _| {
-            a + ((a * 12345.6789).sin()) * 0.2
-        });
+        let noisy = pmr_field::ops::zip_with(&f, &f, |a, _| a + ((a * 12345.6789).sin()) * 0.2);
         let r = fidelity(&f, &noisy);
         assert!(r.histogram_l1 > 0.0);
         assert!(r.total_variation_rel_err > 0.0);

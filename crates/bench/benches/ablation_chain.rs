@@ -19,14 +19,14 @@ fn main() {
         let mut cfg = setup::experiment_config();
         cfg.dmgard.chained = chained;
         let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg, WarpXField::Jx, t));
-        let (mut models, _) = train_models(train_fields, &cfg);
+        let (models, _) = train_models(train_fields, &cfg);
 
         let mut records = Vec::new();
         for t in ts / 2..ts {
             let field = datasets::warpx(&wcfg, WarpXField::Jx, t);
             records.extend(setup::records_for(&field, &cfg));
         }
-        let per_level = dmgard_prediction_errors(&records, &mut models.dmgard);
+        let per_level = dmgard_prediction_errors(&records, &models.dmgard);
         let all: Vec<i64> = per_level.iter().flatten().copied().collect();
         let mean_abs = all.iter().map(|e| e.abs() as f64).sum::<f64>() / all.len() as f64;
         let within1 = output::fraction_within(&all, 1);

@@ -16,11 +16,7 @@ fn main() {
     let wcfg = datasets::warpx_cfg(size, ts);
 
     let mut rows = Vec::new();
-    for (name, loss) in [
-        ("Huber(1)", Loss::Huber(1.0)),
-        ("MSE", Loss::Mse),
-        ("MAE", Loss::Mae),
-    ] {
+    for (name, loss) in [("Huber(1)", Loss::Huber(1.0)), ("MSE", Loss::Mse), ("MAE", Loss::Mae)] {
         let mut cfg = setup::experiment_config();
         cfg.dmgard.train.loss = loss;
         // Harden the task so the losses differentiate: include the noisy
@@ -29,14 +25,14 @@ fn main() {
         cfg.dmgard.use_stat_features = true;
         cfg.dmgard.train.epochs = 35;
         let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg, WarpXField::Jx, t));
-        let (mut models, _) = train_models(train_fields, &cfg);
+        let (models, _) = train_models(train_fields, &cfg);
 
         let mut records = Vec::new();
         for t in ts / 2..ts {
             let field = datasets::warpx(&wcfg, WarpXField::Jx, t);
             records.extend(setup::records_for(&field, &cfg));
         }
-        let per_level = dmgard_prediction_errors(&records, &mut models.dmgard);
+        let per_level = dmgard_prediction_errors(&records, &models.dmgard);
         let all: Vec<i64> = per_level.iter().flatten().copied().collect();
         let mean_abs = all.iter().map(|e| e.abs() as f64).sum::<f64>() / all.len() as f64;
         let within1 = output::fraction_within(&all, 1);
@@ -53,10 +49,6 @@ fn main() {
         &["loss", "mean_abs_err(planes)", "within_1", "tail(|e|>=3)"],
         &rows,
     );
-    output::write_csv(
-        "ablation_loss.csv",
-        &["loss", "mean_abs_err", "within_1", "tail"],
-        &rows,
-    );
+    output::write_csv("ablation_loss.csv", &["loss", "mean_abs_err", "within_1", "tail"], &rows);
     println!("\nPaper: Huber combines MSE's outlier control with MAE's average accuracy.");
 }

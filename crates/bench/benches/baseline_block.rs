@@ -65,9 +65,7 @@ fn main() {
         ]);
     }
     output::print_table(
-        &format!(
-            "Baseline 1: matched requested bound, own error control (J_x, t={t}, {size}^3)"
-        ),
+        &format!("Baseline 1: matched requested bound, own error control (J_x, t={t}, {size}^3)"),
         &["rel_bound", "mgard_bytes", "mgard_err", "block_bytes", "block_err", "block/mgard"],
         &rows,
     );

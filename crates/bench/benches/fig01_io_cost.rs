@@ -21,7 +21,7 @@ use pmr_sim::WarpXField;
 fn oracle_bytes(field: &Field, c: &Compressed, abs: f64) -> u64 {
     let mut lo = abs; // internal target that certainly satisfies the bound
     let mut hi = abs * 1e6; // hopefully loose enough to violate it
-    // Ensure hi actually violates; otherwise the oracle reads ~nothing.
+                            // Ensure hi actually violates; otherwise the oracle reads ~nothing.
     for _ in 0..40 {
         let plan = c.plan_theory(hi);
         let err = max_abs_error(field.data(), c.retrieve(&plan).data());
@@ -58,11 +58,8 @@ fn main() {
             let abs = c.absolute_bound(rel);
             let achieved = c.retrieved_bytes(&c.plan_theory(abs));
             let requested = oracle_bytes(&field, &c, abs);
-            let overhead = if requested > 0 {
-                achieved as f64 / requested as f64
-            } else {
-                f64::INFINITY
-            };
+            let overhead =
+                if requested > 0 { achieved as f64 / requested as f64 } else { f64::INFINITY };
             rows.push(vec![
                 field.name().to_string(),
                 sci(rel),

@@ -83,7 +83,15 @@ fn main() {
     }
     output::print_table(
         &format!("Fig 3b: #bit-planes (total/finest) and bytes vs relative error bound (t={t})"),
-        &["rel_bound", "B_x planes", "B_x bytes", "E_x planes", "E_x bytes", "J_x planes", "J_x bytes"],
+        &[
+            "rel_bound",
+            "B_x planes",
+            "B_x bytes",
+            "E_x planes",
+            "E_x bytes",
+            "J_x planes",
+            "J_x bytes",
+        ],
         &rows_b,
     );
     output::write_csv(

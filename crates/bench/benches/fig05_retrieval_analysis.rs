@@ -86,7 +86,11 @@ fn main() {
     let mut headers_a: Vec<String> = vec!["".to_string()];
     headers_a.extend((0..num_levels).map(|l| format!("level_{l}")));
     let headers_a_ref: Vec<&str> = headers_a.iter().map(String::as_str).collect();
-    output::print_table("Fig 5a: correlation matrix of per-level plane counts", &headers_a_ref, &rows_a);
+    output::print_table(
+        "Fig 5a: correlation matrix of per-level plane counts",
+        &headers_a_ref,
+        &rows_a,
+    );
     output::write_csv("fig05a_correlation.csv", &headers_a_ref, &rows_a);
     println!(
         "  (n/a = level saturated at B planes across the whole sweep; at bench scale\n\

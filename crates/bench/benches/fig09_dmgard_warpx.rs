@@ -19,7 +19,7 @@ fn main() {
 
     println!("Training D-MGARD on J_x timesteps 0..{} ({}^3)...", ts / 2, size);
     let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg, WarpXField::Jx, t));
-    let (mut models, _) = train_models(train_fields, &cfg);
+    let (models, _) = train_models(train_fields, &cfg);
 
     let eval_sets: [(&str, WarpXField, Box<dyn Iterator<Item = usize>>); 3] = [
         ("J_x (later half)", WarpXField::Jx, Box::new(ts / 2..ts)),
@@ -34,7 +34,7 @@ fn main() {
             let field = datasets::warpx(&wcfg, wf, t);
             records.extend(setup::records_for(&field, &cfg));
         }
-        let per_level = dmgard_prediction_errors(&records, &mut models.dmgard);
+        let per_level = dmgard_prediction_errors(&records, &models.dmgard);
         let w1 = setup::report_prediction_errors(
             &format!("Fig 9: D-MGARD prediction error distribution — {label}"),
             &format!(
@@ -48,9 +48,7 @@ fn main() {
         }
     }
 
-    println!(
-        "\nPaper: >60% of J_x predictions are exact on levels 1-4, ~80% within one plane."
-    );
+    println!("\nPaper: >60% of J_x predictions are exact on levels 1-4, ~80% within one plane.");
     assert!(
         within1_jx > 0.3,
         "D-MGARD failed to generalise across timesteps (within-1 fraction {within1_jx:.2})"

@@ -18,7 +18,7 @@ fn main() {
 
     println!("Training D-MGARD on D_u timesteps 0..{}...", ts / 2);
     let train_fields = (0..ts / 2).map(|t| datasets::grayscott(&gcfg, GsSpecies::U, t));
-    let (mut models, _) = train_models(train_fields, &cfg);
+    let (models, _) = train_models(train_fields, &cfg);
 
     let eval_sets: [(&str, GsSpecies, Box<dyn Iterator<Item = usize>>); 2] = [
         ("D_u (later half)", GsSpecies::U, Box::new(ts / 2..ts)),
@@ -32,7 +32,7 @@ fn main() {
             let field = datasets::grayscott(&gcfg, sp, t);
             records.extend(setup::records_for(&field, &cfg));
         }
-        let per_level = dmgard_prediction_errors(&records, &mut models.dmgard);
+        let per_level = dmgard_prediction_errors(&records, &models.dmgard);
         let w1 = setup::report_prediction_errors(
             &format!("Fig 10: D-MGARD prediction error distribution — {label}"),
             &format!(

@@ -17,7 +17,7 @@ fn main() {
     println!("Training D-MGARD on J_x at {train_size}^3...");
     let wcfg_train = datasets::warpx_cfg(train_size, ts);
     let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg_train, WarpXField::Jx, t));
-    let (mut models, _) = train_models(train_fields, &cfg);
+    let (models, _) = train_models(train_fields, &cfg);
 
     let mut within1 = Vec::new();
     for &size in &test_sizes {
@@ -27,7 +27,7 @@ fn main() {
             let field = datasets::warpx(&wcfg, WarpXField::Jx, t);
             records.extend(setup::records_for(&field, &cfg));
         }
-        let per_level = dmgard_prediction_errors(&records, &mut models.dmgard);
+        let per_level = dmgard_prediction_errors(&records, &models.dmgard);
         let w1 = setup::report_prediction_errors(
             &format!("Fig 11: D-MGARD trained at {train_size}^3, tested at {size}^3"),
             &format!("fig11_dmgard_resolution_{size}.csv"),

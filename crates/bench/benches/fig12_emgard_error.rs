@@ -26,7 +26,7 @@ fn main() {
         let compressed = Compressed::compress(&field, &cfg.compress);
         samples.extend(build_samples(&field, &compressed, &cfg.emgard, tt as u64));
     }
-    let (mut emgard, history) = EMgard::train(&samples, &cfg.emgard);
+    let (emgard, history) = EMgard::train(&samples, &cfg.emgard);
     println!(
         "  training loss: {:.4} -> {:.4} over {} epochs",
         history[0],

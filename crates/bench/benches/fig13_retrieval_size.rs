@@ -19,7 +19,7 @@ fn main() {
 
     println!("Training D-MGARD and E-MGARD on J_x timesteps 0..{} ({}^3)...", ts / 2, size);
     let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg, WarpXField::Jx, t));
-    let (mut models, _) = train_models(train_fields, &cfg);
+    let (models, _) = train_models(train_fields, &cfg);
 
     // Accumulate retrieval sizes across the test timesteps per bound.
     let bounds = setup::sparse_rel_bounds();
@@ -33,7 +33,7 @@ fn main() {
     let mut c_violations = 0usize;
     for &t in &test_ts {
         let field = datasets::warpx(&wcfg, WarpXField::Jx, t);
-        let rows = compare_on_field(&field, &mut models, &cfg, &bounds);
+        let rows = compare_on_field(&field, &models, &cfg, &bounds);
         for (slot, row) in acc.iter_mut().zip(&rows) {
             slot.1 += row.theory.bytes;
             slot.2 += row.dmgard.bytes;
@@ -89,8 +89,15 @@ fn main() {
             size
         ),
         &[
-            "psnr_db", "rel_bound", "mgard", "d-mgard", "e-mgard", "combined", "saving_d",
-            "saving_e", "saving_de",
+            "psnr_db",
+            "rel_bound",
+            "mgard",
+            "d-mgard",
+            "e-mgard",
+            "combined",
+            "saving_d",
+            "saving_e",
+            "saving_de",
         ],
         &rows,
     );

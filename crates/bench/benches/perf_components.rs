@@ -1,11 +1,15 @@
 //! Criterion micro-benchmarks of the pipeline components: decomposition,
 //! recomposition, bit-plane encoding, greedy planning, retrieval, and the
-//! neural-network forward/training steps.
+//! neural-network forward/training steps — each transform/codec stage in a
+//! serial and a parallel variant so the speedup of the threaded data path
+//! is measured directly (acceptance target: ≥ 1.5× on 48³ at 4+ threads).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmr_core::emgard::level_signature;
 use pmr_field::{Field, Shape};
-use pmr_mgard::{CompressConfig, Compressed, Decomposer, LevelEncoding, TransformMode};
+use pmr_mgard::{
+    retrieve_many, CompressConfig, Compressed, Decomposer, ExecPolicy, LevelEncoding, TransformMode,
+};
 use pmr_nn::{Activation, Dataset, Matrix, Mlp, TrainConfig};
 use std::hint::black_box;
 
@@ -13,6 +17,11 @@ fn test_field(n: usize) -> Field {
     Field::from_fn("bench", 0, Shape::cube(n), |x, y, z| {
         ((x as f64) * 0.31).sin() * ((y as f64) * 0.17).cos() + ((z as f64) * 0.05).sin()
     })
+}
+
+/// 4 workers unless the machine has fewer cores.
+fn parallel_policy() -> ExecPolicy {
+    ExecPolicy::with_threads(ExecPolicy::default().resolved_threads().clamp(1, 4))
 }
 
 fn bench_transform(c: &mut Criterion) {
@@ -36,6 +45,43 @@ fn bench_transform(c: &mut Criterion) {
     });
 }
 
+fn bench_transform_parallel(c: &mut Criterion) {
+    let field = test_field(48);
+    let dec = Decomposer::new(field.shape(), 5, TransformMode::L2Projection);
+    let serial = ExecPolicy::serial();
+    let par = parallel_policy();
+    c.bench_function("decompose_48cube_serial", |b| {
+        b.iter(|| {
+            let mut data = field.data().to_vec();
+            dec.decompose_with(black_box(&mut data), &serial);
+            data
+        })
+    });
+    c.bench_function("decompose_48cube_parallel", |b| {
+        b.iter(|| {
+            let mut data = field.data().to_vec();
+            dec.decompose_with(black_box(&mut data), &par);
+            data
+        })
+    });
+    let mut coeffs = field.data().to_vec();
+    dec.decompose(&mut coeffs);
+    c.bench_function("recompose_48cube_serial", |b| {
+        b.iter(|| {
+            let mut data = coeffs.clone();
+            dec.recompose_with(black_box(&mut data), &serial);
+            data
+        })
+    });
+    c.bench_function("recompose_48cube_parallel", |b| {
+        b.iter(|| {
+            let mut data = coeffs.clone();
+            dec.recompose_with(black_box(&mut data), &par);
+            data
+        })
+    });
+}
+
 fn bench_bitplane(c: &mut Criterion) {
     let field = test_field(33);
     let dec = Decomposer::new(field.shape(), 5, TransformMode::L2Projection);
@@ -51,6 +97,47 @@ fn bench_bitplane(c: &mut Criterion) {
     c.bench_function("level_signature", |b| b.iter(|| level_signature(black_box(&finest))));
 }
 
+fn bench_bitplane_parallel(c: &mut Criterion) {
+    let field = test_field(48);
+    let dec = Decomposer::new(field.shape(), 5, TransformMode::L2Projection);
+    let mut data = field.data().to_vec();
+    dec.decompose(&mut data);
+    let finest = dec.interleave(&data).last().unwrap().clone();
+    let serial = ExecPolicy::serial();
+    let par = parallel_policy();
+    c.bench_function("bitplane_encode_48cube_serial", |b| {
+        b.iter(|| LevelEncoding::encode_with(black_box(&finest), 32, &serial))
+    });
+    c.bench_function("bitplane_encode_48cube_parallel", |b| {
+        b.iter(|| LevelEncoding::encode_with(black_box(&finest), 32, &par))
+    });
+    let enc = LevelEncoding::encode(&finest, 32);
+    c.bench_function("bitplane_decode_48cube_serial", |b| {
+        b.iter(|| enc.decode_with(black_box(16), &serial))
+    });
+    c.bench_function("bitplane_decode_48cube_parallel", |b| {
+        b.iter(|| enc.decode_with(black_box(16), &par))
+    });
+}
+
+fn bench_batch_retrieval(c: &mut Criterion) {
+    let fields: Vec<Field> = (0..8).map(|_| test_field(33)).collect();
+    let cfg = CompressConfig::default();
+    let artifacts = Compressed::compress_many(&fields, &cfg);
+    let plans: Vec<_> = artifacts.iter().map(|a| a.plan_theory(a.absolute_bound(1e-5))).collect();
+    let items: Vec<(&Compressed, &pmr_mgard::RetrievalPlan)> =
+        artifacts.iter().zip(&plans).collect();
+    c.bench_function("retrieve_8x33cube_loop", |b| {
+        b.iter(|| {
+            items
+                .iter()
+                .map(|(a, p)| a.retrieve_with(black_box(p), &ExecPolicy::serial()))
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("retrieve_8x33cube_batch", |b| b.iter(|| retrieve_many(black_box(&items))));
+}
+
 fn bench_retrieval(c: &mut Criterion) {
     let field = test_field(33);
     let compressed = Compressed::compress(&field, &CompressConfig::default());
@@ -58,9 +145,7 @@ fn bench_retrieval(c: &mut Criterion) {
         b.iter(|| Compressed::compress(black_box(&field), &CompressConfig::default()))
     });
     let abs = compressed.absolute_bound(1e-5);
-    c.bench_function("greedy_plan_1e-5", |b| {
-        b.iter(|| compressed.plan_theory(black_box(abs)))
-    });
+    c.bench_function("greedy_plan_1e-5", |b| b.iter(|| compressed.plan_theory(black_box(abs))));
     let plan = compressed.plan_theory(abs);
     c.bench_function("retrieve_1e-5", |b| b.iter(|| compressed.retrieve(black_box(&plan))));
 }
@@ -86,5 +171,14 @@ fn bench_nn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_transform, bench_bitplane, bench_retrieval, bench_nn);
+criterion_group!(
+    benches,
+    bench_transform,
+    bench_transform_parallel,
+    bench_bitplane,
+    bench_bitplane_parallel,
+    bench_retrieval,
+    bench_batch_retrieval,
+    bench_nn
+);
 criterion_main!(benches);

@@ -13,7 +13,7 @@ fn main() {
     let cfg = setup::experiment_config();
 
     let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg, WarpXField::Jx, t));
-    let (mut models, train_records) = train_models(train_fields, &cfg);
+    let (models, train_records) = train_models(train_fields, &cfg);
 
     // Fit quality on the training records themselves.
     let mut train_hits = 0usize;

@@ -12,7 +12,7 @@ fn main() {
     let wcfg = datasets::warpx_cfg(size, ts);
     let cfg = setup::experiment_config();
     let train_fields = (0..ts / 2).map(|t| datasets::warpx(&wcfg, WarpXField::Jx, t));
-    let (mut models, _) = train_models(train_fields, &cfg);
+    let (models, _) = train_models(train_fields, &cfg);
 
     for wf in [WarpXField::Jx, WarpXField::Bx] {
         println!("\n=== {} per timestep at rel 1e-4 / 1e-2 ===", wf.field_name());
@@ -24,7 +24,10 @@ fn main() {
             let recs = pmr_core::collect_records(&field, &c, &[1e-4, 1e-2]);
             let mut line = format!(
                 "t={t:>2} skew={:>6.2} kurt={:>7.2} ac={:>5.2} s4={:>8.2e} |",
-                inv[0], inv[1], inv[2], 10f32.powf(feats[features::NUM_BASE_FEATURES + 4])
+                inv[0],
+                inv[1],
+                inv[2],
+                10f32.powf(feats[features::NUM_BASE_FEATURES + 4])
             );
             for r in &recs {
                 let p = models.dmgard.predict(&r.features, r.achieved_err);

@@ -56,20 +56,12 @@ pub fn records_for(
 /// Print and export a per-level prediction-error distribution in the style
 /// of paper Figs. 9–11. Returns the fraction of predictions within ±1
 /// plane, aggregated over all levels.
-pub fn report_prediction_errors(
-    title: &str,
-    csv_name: &str,
-    per_level: &[Vec<i64>],
-) -> f64 {
+pub fn report_prediction_errors(title: &str, csv_name: &str, per_level: &[Vec<i64>]) -> f64 {
     use crate::output;
     let mut rows = Vec::new();
     for (l, errs) in per_level.iter().enumerate() {
         for (bucket, frac) in output::error_histogram(errs) {
-            rows.push(vec![
-                format!("level_{l}"),
-                bucket.to_string(),
-                format!("{:.4}", frac),
-            ]);
+            rows.push(vec![format!("level_{l}"), bucket.to_string(), format!("{:.4}", frac)]);
         }
     }
     output::print_table(title, &["level", "pred_error(planes)", "fraction"], &rows);

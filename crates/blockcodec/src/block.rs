@@ -9,11 +9,7 @@ pub const BLOCK_LEN: usize = BLOCK * BLOCK * BLOCK;
 
 /// Number of blocks along each dimension for `shape`.
 pub fn block_grid(shape: Shape) -> [usize; 3] {
-    [
-        shape.dim(0).div_ceil(BLOCK),
-        shape.dim(1).div_ceil(BLOCK),
-        shape.dim(2).div_ceil(BLOCK),
-    ]
+    [shape.dim(0).div_ceil(BLOCK), shape.dim(1).div_ceil(BLOCK), shape.dim(2).div_ceil(BLOCK)]
 }
 
 /// Total number of blocks for `shape`.
@@ -124,7 +120,7 @@ mod tests {
         let data: Vec<f64> = (0..shape.len()).map(|i| i as f64).collect();
         let mut block = [0.0; BLOCK_LEN];
         gather(&data, shape, 1, 0, 0, &mut block); // covers x = 4..8, only x=4 real
-        // All x-positions in the padded block replicate x = 4.
+                                                   // All x-positions in the padded block replicate x = 4.
         for dz in 0..BLOCK {
             for dy in 0..BLOCK {
                 let base = block[dz * 16 + dy * 4];

@@ -140,9 +140,8 @@ mod tests {
 
     #[test]
     fn block_roundtrip() {
-        let orig: Vec<f64> = (0..BLOCK_LEN)
-            .map(|i| ((i as f64) * 0.713).sin() * 10.0 + (i as f64) * 0.01)
-            .collect();
+        let orig: Vec<f64> =
+            (0..BLOCK_LEN).map(|i| ((i as f64) * 0.713).sin() * 10.0 + (i as f64) * 0.01).collect();
         let mut block = orig.clone();
         forward_block(&mut block);
         inverse_block(&mut block);
@@ -163,10 +162,8 @@ mod tests {
         let mut block = orig.clone();
         forward_block(&mut block);
         let dc = block[0].abs();
-        let fine_energy: f64 = crate::block::coefficient_order()[32..]
-            .iter()
-            .map(|&n| block[n].abs())
-            .sum();
+        let fine_energy: f64 =
+            crate::block::coefficient_order()[32..].iter().map(|&n| block[n].abs()).sum();
         assert!(dc > fine_energy, "dc={dc} fine={fine_energy}");
     }
 }

@@ -4,6 +4,7 @@
 //! embedded [`LevelEncoding`] stream (its own self-contained format).
 
 use crate::codec::BlockCompressed;
+use pmr_error::PmrError;
 use pmr_field::Shape;
 use pmr_mgard::LevelEncoding;
 use std::fs;
@@ -11,6 +12,10 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 6] = b"PMRB1\0";
+
+fn malformed(detail: &str) -> PmrError {
+    PmrError::malformed("block artifact", detail)
+}
 
 /// Serialize an artifact to bytes.
 pub fn to_bytes(c: &BlockCompressed) -> Vec<u8> {
@@ -31,63 +36,83 @@ pub fn to_bytes(c: &BlockCompressed) -> Vec<u8> {
 }
 
 /// Deserialize an artifact previously produced by [`to_bytes`].
-pub fn from_bytes(buf: &[u8]) -> Option<BlockCompressed> {
+pub fn from_bytes(buf: &[u8]) -> Result<BlockCompressed, PmrError> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
         let s = buf.get(*pos..*pos + n)?;
         *pos += n;
         Some(s)
     };
-    if take(&mut pos, 6)? != MAGIC {
-        return None;
+    let u32_at = |pos: &mut usize| -> Option<u32> {
+        Some(u32::from_le_bytes(take(pos, 4)?.try_into().ok()?))
+    };
+    if take(&mut pos, 6).ok_or_else(|| malformed("truncated magic"))? != MAGIC {
+        return Err(malformed("bad magic"));
     }
-    let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let name_len = u32_at(&mut pos).ok_or_else(|| malformed("truncated name length"))? as usize;
     if name_len > 4096 {
-        return None;
+        return Err(malformed("name length exceeds 4096"));
     }
-    let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
-    let timestep = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
-    let ndim = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
-    let dx = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
-    let dy = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
-    let dz = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
-    if dx == 0 || dy == 0 || dz == 0 || dx.checked_mul(dy)?.checked_mul(dz)? > (1 << 28) {
-        return None;
+    let name_bytes = take(&mut pos, name_len).ok_or_else(|| malformed("truncated name"))?.to_vec();
+    let name = String::from_utf8(name_bytes).map_err(|_| malformed("name is not valid UTF-8"))?;
+    let timestep = u64::from_le_bytes(
+        take(&mut pos, 8)
+            .ok_or_else(|| malformed("truncated timestep"))?
+            .try_into()
+            .expect("8-byte slice"),
+    ) as usize;
+    let ndim = u32_at(&mut pos).ok_or_else(|| malformed("truncated ndim"))? as usize;
+    let dx = u32_at(&mut pos).ok_or_else(|| malformed("truncated dims"))? as usize;
+    let dy = u32_at(&mut pos).ok_or_else(|| malformed("truncated dims"))? as usize;
+    let dz = u32_at(&mut pos).ok_or_else(|| malformed("truncated dims"))? as usize;
+    let points = dx.checked_mul(dy).and_then(|p| p.checked_mul(dz));
+    if dx == 0 || dy == 0 || dz == 0 || points.is_none_or(|p| p > 1 << 28) {
+        return Err(malformed("grid dimensions out of range"));
     }
     let shape = match ndim {
         1 => Shape::d1(dx),
         2 => Shape::d2(dx, dy),
         3 => Shape::d3(dx, dy, dz),
-        _ => return None,
+        _ => return Err(malformed("ndim must be 1, 2 or 3")),
     };
-    let value_range = f64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+    let value_range = f64::from_le_bytes(
+        take(&mut pos, 8)
+            .ok_or_else(|| malformed("truncated value range"))?
+            .try_into()
+            .expect("8-byte slice"),
+    );
     if !value_range.is_finite() || value_range < 0.0 {
-        return None;
+        return Err(malformed("value range must be finite and non-negative"));
     }
-    let (encoding, used) = LevelEncoding::from_bytes(buf.get(pos..)?)?;
+    let rest = buf.get(pos..).ok_or_else(|| malformed("truncated encoding"))?;
+    let (encoding, used) =
+        LevelEncoding::from_bytes(rest).ok_or_else(|| malformed("bad level encoding"))?;
     pos += used;
     if pos != buf.len() {
-        return None;
+        return Err(malformed("trailing bytes after encoding"));
     }
     BlockCompressed::from_parts(name, timestep, shape, encoding, value_range)
+        .ok_or_else(|| malformed("encoding does not match shape"))
 }
 
 /// Write an artifact to `path`, creating parent directories.
-pub fn save(c: &BlockCompressed, path: &Path) -> io::Result<()> {
+pub fn save(c: &BlockCompressed, path: &Path) -> Result<(), PmrError> {
+    let io_err = |e: io::Error| PmrError::io_at(path, e);
     if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
+        fs::create_dir_all(parent).map_err(io_err)?;
     }
-    let mut f = io::BufWriter::new(fs::File::create(path)?);
-    f.write_all(&to_bytes(c))?;
-    f.flush()
+    let mut f = io::BufWriter::new(fs::File::create(path).map_err(io_err)?);
+    f.write_all(&to_bytes(c)).map_err(io_err)?;
+    f.flush().map_err(io_err)
 }
 
 /// Read an artifact previously written with [`save`].
-pub fn load(path: &Path) -> io::Result<BlockCompressed> {
+pub fn load(path: &Path) -> Result<BlockCompressed, PmrError> {
     let mut buf = Vec::new();
-    fs::File::open(path)?.read_to_end(&mut buf)?;
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| PmrError::io_at(path, e))?;
     from_bytes(&buf)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed block artifact"))
 }
 
 #[cfg(test)]
@@ -134,10 +159,10 @@ mod tests {
     fn corruption_rejected() {
         let (_, c) = artifact();
         let bytes = to_bytes(&c);
-        assert!(from_bytes(&bytes[..bytes.len() - 3]).is_none());
-        assert!(from_bytes(b"junk").is_none());
+        assert!(from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(from_bytes(b"junk").is_err());
         let mut bad = bytes.clone();
         bad[2] = b'X';
-        assert!(from_bytes(&bad).is_none());
+        assert!(from_bytes(&bad).is_err());
     }
 }

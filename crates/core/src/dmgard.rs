@@ -213,7 +213,10 @@ impl DMgard {
     }
 
     /// Raw (unrounded) chained prediction; exposed for error analysis.
-    pub fn predict_raw(&mut self, base_features: &[f32], err: f64) -> Vec<f32> {
+    ///
+    /// Takes `&self`: inference never mutates the stack, so one trained
+    /// model can serve many planner threads concurrently.
+    pub fn predict_raw(&self, base_features: &[f32], err: f64) -> Vec<f32> {
         assert_eq!(
             base_features.len(),
             NUM_BASE_FEATURES + self.models.len(),
@@ -224,12 +227,12 @@ impl DMgard {
         let stats: &[f32] = if self.use_stat_features { &inv } else { &[] };
         let mut prev: Vec<f32> = Vec::with_capacity(self.models.len());
         let mut raw = Vec::with_capacity(self.models.len());
-        for l in 0..self.models.len() {
+        for (l, model) in self.models.iter().enumerate() {
             let chain = if self.chained { prev.as_slice() } else { &[] };
             let mut x = features::chain_input(stats, err, scales[l], chain);
             self.standardizers[l].transform_row(&mut x);
             let (mu, sigma) = self.target_affine[l];
-            let y = self.models[l].predict_row(&x)[0] * sigma + mu;
+            let y = model.infer_row(&x)[0] * sigma + mu;
             raw.push(y);
             // Feed the *rounded* prediction forward, matching what the
             // retriever will actually fetch.
@@ -239,7 +242,7 @@ impl DMgard {
     }
 
     /// Predict plane counts for a requested maximum error `err`.
-    pub fn predict(&mut self, base_features: &[f32], err: f64) -> Vec<u32> {
+    pub fn predict(&self, base_features: &[f32], err: f64) -> Vec<u32> {
         self.predict_raw(base_features, err)
             .into_iter()
             .map(|y| clamp_planes(y, self.num_planes))
@@ -247,7 +250,7 @@ impl DMgard {
     }
 
     /// Predict and wrap as a [`RetrievalPlan`].
-    pub fn predict_plan(&mut self, base_features: &[f32], err: f64) -> RetrievalPlan {
+    pub fn predict_plan(&self, base_features: &[f32], err: f64) -> RetrievalPlan {
         RetrievalPlan::from_planes(self.predict(base_features, err))
     }
 
@@ -324,6 +327,23 @@ impl DMgard {
             use_stat_features,
         })
     }
+
+    /// Write the serialized stack to `path`, creating parent directories.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), pmr_error::PmrError> {
+        let io_err = |e: std::io::Error| pmr_error::PmrError::io_at(path, e);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        std::fs::write(path, self.to_bytes()).map_err(io_err)
+    }
+
+    /// Read a stack previously written with [`DMgard::save`].
+    pub fn load(path: &std::path::Path) -> Result<Self, pmr_error::PmrError> {
+        let buf = std::fs::read(path).map_err(|e| pmr_error::PmrError::io_at(path, e))?;
+        DMgard::from_bytes(&buf).ok_or_else(|| {
+            pmr_error::PmrError::malformed("dmgard model", "corrupt or truncated model file")
+        })
+    }
 }
 
 /// Round and clamp a raw prediction into a valid plane count.
@@ -351,8 +371,7 @@ mod tests {
         let cfg = CompressConfig { levels: 3, num_planes: 16, ..Default::default() };
         for t in 0..4usize {
             let field = Field::from_fn("f", t, Shape::cube(9), move |x, y, z| {
-                ((x as f64) * (0.3 + t as f64 * 0.05)).sin()
-                    + ((y + z) as f64 * 0.2).cos() * 0.5
+                ((x as f64) * (0.3 + t as f64 * 0.05)).sin() + ((y + z) as f64 * 0.2).cos() * 0.5
             });
             let c = Compressed::compress(&field, &cfg);
             records.extend(collect_records(&field, &c, &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1]));
@@ -363,7 +382,7 @@ mod tests {
     #[test]
     fn trains_and_predicts_valid_planes() {
         let (records, levels, planes) = training_records();
-        let (mut model, summary) = DMgard::train(&records, levels, planes, &fast_cfg());
+        let (model, summary) = DMgard::train(&records, levels, planes, &fast_cfg());
         assert_eq!(summary.final_losses.len(), levels);
         assert!(summary.final_losses.iter().all(|l| l.is_finite()));
         let pred = model.predict(&records[0].features, records[0].achieved_err);
@@ -374,7 +393,7 @@ mod tests {
     #[test]
     fn learns_the_training_mapping_roughly() {
         let (records, levels, planes) = training_records();
-        let (mut model, _) = DMgard::train(&records, levels, planes, &fast_cfg());
+        let (model, _) = DMgard::train(&records, levels, planes, &fast_cfg());
         // On training points the prediction should be within a couple of
         // planes for most records (paper: majority within ±1).
         let mut total_err = 0f64;
@@ -393,7 +412,7 @@ mod tests {
     #[test]
     fn tighter_error_requests_more_planes() {
         let (records, levels, planes) = training_records();
-        let (mut model, _) = DMgard::train(&records, levels, planes, &fast_cfg());
+        let (model, _) = DMgard::train(&records, levels, planes, &fast_cfg());
         let f = &records[0].features;
         let loose: u32 = model.predict(f, 1e-1).iter().sum();
         let tight: u32 = model.predict(f, 1e-6).iter().sum();
@@ -403,9 +422,9 @@ mod tests {
     #[test]
     fn persistence_roundtrip() {
         let (records, levels, planes) = training_records();
-        let (mut model, _) = DMgard::train(&records, levels, planes, &fast_cfg());
+        let (model, _) = DMgard::train(&records, levels, planes, &fast_cfg());
         let bytes = model.to_bytes();
-        let mut rt = DMgard::from_bytes(&bytes).expect("roundtrip");
+        let rt = DMgard::from_bytes(&bytes).expect("roundtrip");
         let f = &records[0].features;
         assert_eq!(model.predict(f, 1e-3), rt.predict(f, 1e-3));
         assert!(DMgard::from_bytes(&bytes[..10]).is_none());

@@ -20,7 +20,7 @@
 //! decades.
 
 use pmr_field::{error::max_abs_error, Field};
-use pmr_mgard::{Compressed, RetrievalPlan};
+use pmr_mgard::{Compressed, ExecPolicy, RetrievalPlan};
 use pmr_nn::{Activation, Adam, Loss, Matrix, Mlp, Standardizer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -78,11 +78,7 @@ pub fn level_signature(coeffs: &[f64]) -> Vec<f32> {
 /// full precision; in production these 38 floats per level would be stored
 /// as metadata at compression time).
 pub fn signatures_of(compressed: &Compressed) -> Vec<Vec<f32>> {
-    compressed
-        .levels()
-        .iter()
-        .map(|l| level_signature(&l.decode(l.num_planes())))
-        .collect()
+    compressed.levels().iter().map(|l| level_signature(&l.decode(l.num_planes()))).collect()
 }
 
 /// E-MGARD hyperparameters.
@@ -137,6 +133,18 @@ pub fn build_samples(
     cfg: &EMgardConfig,
     seed: u64,
 ) -> Vec<TrainSample> {
+    build_samples_with(field, compressed, cfg, seed, &ExecPolicy::default())
+}
+
+/// [`build_samples`] with an explicit execution policy for the plan
+/// reconstructions it draws.
+pub fn build_samples_with(
+    field: &Field,
+    compressed: &Compressed,
+    cfg: &EMgardConfig,
+    seed: u64,
+    exec: &ExecPolicy,
+) -> Vec<TrainSample> {
     let mut rng = StdRng::seed_from_u64(seed ^ cfg.seed.rotate_left(32));
     let signatures = signatures_of(compressed);
     let nl = compressed.num_levels();
@@ -158,17 +166,45 @@ pub fn build_samples(
             (0..nl).map(|_| rng.random_range(0..=b)).collect()
         };
         let plan = RetrievalPlan::from_planes(planes.clone());
-        let rec = compressed.retrieve(&plan);
+        let rec = compressed.retrieve_with(&plan, exec);
         let actual_err = max_abs_error(field.data(), rec.data());
-        let level_errs: Vec<f64> = compressed
-            .levels()
-            .iter()
-            .zip(&planes)
-            .map(|(l, &p)| l.error_at(p))
-            .collect();
+        let level_errs: Vec<f64> =
+            compressed.levels().iter().zip(&planes).map(|(l, &p)| l.error_at(p)).collect();
         out.push(TrainSample { signatures: signatures.clone(), level_errs, actual_err });
     }
     out
+}
+
+/// Draw training samples from many `(field, compressed, seed)` triples,
+/// fanning the snapshots out over worker threads.
+///
+/// Each worker runs its reconstructions under a serial inner policy —
+/// snapshot-level parallelism already saturates the cores, and serial
+/// execution is bit-identical to parallel, so the result equals calling
+/// [`build_samples`] per snapshot in order.
+pub fn build_samples_many(
+    items: &[(&Field, &Compressed, u64)],
+    cfg: &EMgardConfig,
+) -> Vec<Vec<TrainSample>> {
+    let threads = ExecPolicy::default().resolved_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(|&(f, c, s)| build_samples(f, c, cfg, s)).collect();
+    }
+    let mut out: Vec<Option<Vec<TrainSample>>> = (0..items.len()).map(|_| None).collect();
+    let slots = parking_lot::Mutex::new(&mut out);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(field, compressed, seed)) = items.get(i) else { break };
+                let samples =
+                    build_samples_with(field, compressed, cfg, seed, &ExecPolicy::serial());
+                slots.lock()[i] = Some(samples);
+            });
+        }
+    });
+    out.into_iter().map(|s| s.expect("worker filled every slot")).collect()
 }
 
 /// The trained E-MGARD model: one encoder per coefficient level.
@@ -190,8 +226,7 @@ impl EMgard {
         // Fit per-level standardizers over all samples' signatures.
         let standardizers: Vec<Standardizer> = (0..nl)
             .map(|l| {
-                let rows: Vec<Vec<f32>> =
-                    samples.iter().map(|s| s.signatures[l].clone()).collect();
+                let rows: Vec<Vec<f32>> = samples.iter().map(|s| s.signatures[l].clone()).collect();
                 Standardizer::fit(&Matrix::from_rows(&rows))
             })
             .collect();
@@ -249,8 +284,8 @@ impl EMgard {
                 for (bi, &i) in chunk.iter().enumerate() {
                     let s = &samples[i];
                     let mut e = 0.0f64;
-                    for l in 0..nl {
-                        e += cs[l].get(bi, 0) as f64 * s.level_errs[l];
+                    for (cl, &le) in cs.iter().zip(&s.level_errs) {
+                        e += cl.get(bi, 0) as f64 * le;
                     }
                     est[bi] = e;
                     let z = (e + EPS).ln() as f32;
@@ -290,7 +325,10 @@ impl EMgard {
     /// *proven* upper bounds, so any larger learned value is strictly
     /// wasteful. The clamp guarantees E-MGARD never fetches more than the
     /// original MGARD (the invariant visible in paper Fig. 13).
-    pub fn predict_constants(&mut self, compressed: &Compressed) -> Vec<f64> {
+    ///
+    /// Takes `&self`: inference never mutates the encoders, so one trained
+    /// model can serve many planner threads concurrently.
+    pub fn predict_constants(&self, compressed: &Compressed) -> Vec<f64> {
         assert_eq!(compressed.num_levels(), self.encoders.len(), "level count mismatch");
         signatures_of(compressed)
             .into_iter()
@@ -298,14 +336,14 @@ impl EMgard {
             .enumerate()
             .map(|(l, (mut sig, &ceiling))| {
                 self.standardizers[l].transform_row(&mut sig);
-                let c = self.encoders[l].predict_row(&sig)[0] as f64;
+                let c = self.encoders[l].infer_row(&sig)[0] as f64;
                 c.clamp(1e-6, ceiling)
             })
             .collect()
     }
 
     /// Plan a retrieval: learned constants + the original greedy retriever.
-    pub fn plan(&mut self, compressed: &Compressed, abs_bound: f64) -> RetrievalPlan {
+    pub fn plan(&self, compressed: &Compressed, abs_bound: f64) -> RetrievalPlan {
         let constants = self.predict_constants(compressed);
         compressed.plan_with_constants(abs_bound, &constants)
     }
@@ -354,6 +392,23 @@ impl EMgard {
         }
         Some(EMgard { encoders, standardizers })
     }
+
+    /// Write the serialized model to `path`, creating parent directories.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), pmr_error::PmrError> {
+        let io_err = |e: std::io::Error| pmr_error::PmrError::io_at(path, e);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        std::fs::write(path, self.to_bytes()).map_err(io_err)
+    }
+
+    /// Read a model previously written with [`EMgard::save`].
+    pub fn load(path: &std::path::Path) -> Result<Self, pmr_error::PmrError> {
+        let buf = std::fs::read(path).map_err(|e| pmr_error::PmrError::io_at(path, e))?;
+        EMgard::from_bytes(&buf).ok_or_else(|| {
+            pmr_error::PmrError::malformed("emgard model", "corrupt or truncated model file")
+        })
+    }
 }
 
 #[cfg(test)]
@@ -373,7 +428,12 @@ mod tests {
     }
 
     fn fast_cfg() -> EMgardConfig {
-        EMgardConfig { epochs: 60, samples_per_artifact: 16, hidden: vec![32, 8], ..Default::default() }
+        EMgardConfig {
+            epochs: 60,
+            samples_per_artifact: 16,
+            hidden: vec![32, 8],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -401,7 +461,7 @@ mod tests {
             let (f, c) = pair(t);
             samples.extend(build_samples(&f, &c, &cfg, t as u64));
         }
-        let (mut model, history) = EMgard::train(&samples, &cfg);
+        let (model, history) = EMgard::train(&samples, &cfg);
         assert!(history.last().unwrap() < &history[0], "loss did not decrease: {history:?}");
 
         let (field, c) = pair(4);
@@ -422,8 +482,8 @@ mod tests {
         let cfg = fast_cfg();
         let (f, c) = pair(0);
         let samples = build_samples(&f, &c, &cfg, 0);
-        let (mut model, _) = EMgard::train(&samples, &cfg);
-        let mut rt = EMgard::from_bytes(&model.to_bytes()).expect("roundtrip");
+        let (model, _) = EMgard::train(&samples, &cfg);
+        let rt = EMgard::from_bytes(&model.to_bytes()).expect("roundtrip");
         let a = model.predict_constants(&c);
         let b = rt.predict_constants(&c);
         assert_eq!(a, b);
@@ -464,6 +524,19 @@ mod tests {
                 (fd - analytic).abs() < 5e-2 * (1.0 + analytic.abs()),
                 "l={l} fd={fd} analytic={analytic}"
             );
+        }
+    }
+
+    #[test]
+    fn build_samples_many_matches_sequential() {
+        let cfg = fast_cfg();
+        let pairs: Vec<(Field, Compressed)> = (0..3).map(pair).collect();
+        let items: Vec<(&Field, &Compressed, u64)> =
+            pairs.iter().enumerate().map(|(i, (f, c))| (f, c, i as u64)).collect();
+        let batched = build_samples_many(&items, &cfg);
+        assert_eq!(batched.len(), 3);
+        for (i, (f, c)) in pairs.iter().enumerate() {
+            assert_eq!(batched[i], build_samples(f, c, &cfg, i as u64));
         }
     }
 

@@ -3,10 +3,10 @@
 //! Figs. 1, 2, 12 and 13.
 
 use crate::dmgard::{DMgard, DMgardConfig};
-use crate::emgard::{build_samples, EMgard, EMgardConfig};
+use crate::emgard::{build_samples_many, EMgard, EMgardConfig, TrainSample};
 use crate::features;
 use crate::framework::{execute, RetrievalOutcome};
-use crate::records::{collect_records, RetrievalRecord};
+use crate::records::{collect_records_many, RetrievalRecord};
 use pmr_field::Field;
 use pmr_mgard::{CompressConfig, Compressed};
 use serde::{Deserialize, Serialize};
@@ -49,7 +49,7 @@ impl TrainedModels {
     /// unnecessary). Recovers most of D-MGARD's bound violations while
     /// keeping learned-retriever savings.
     pub fn plan_combined(
-        &mut self,
+        &self,
         compressed: &Compressed,
         features: &[f32],
         abs_bound: f64,
@@ -73,38 +73,19 @@ pub fn train_models(
     assert!(!fields.is_empty(), "no training snapshots supplied");
 
     // Harvesting (compress + sweep bounds + sample plans) dominates
-    // wall-clock and is embarrassingly parallel across snapshots.
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(fields.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut harvested: Vec<Option<(Vec<RetrievalRecord>, Vec<crate::emgard::TrainSample>, usize, u32)>> =
-        (0..fields.len()).map(|_| None).collect();
-    let slots = parking_lot::Mutex::new(&mut harvested);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(field) = fields.get(i) else { break };
-                let compressed = Compressed::compress(field, &cfg.compress);
-                let recs = collect_records(field, &compressed, &cfg.train_bounds);
-                let samples =
-                    build_samples(field, &compressed, &cfg.emgard, field.timestep() as u64);
-                let out = (recs, samples, compressed.num_levels(), compressed.num_planes());
-                slots.lock()[i] = Some(out);
-            });
-        }
-    });
+    // wall-clock; each stage fans out over the snapshots through the batch
+    // APIs, which are bit-identical to their sequential counterparts.
+    let artifacts = Compressed::compress_many(&fields, &cfg.compress);
+    let rec_items: Vec<(&Field, &Compressed)> = fields.iter().zip(&artifacts).collect();
+    let records: Vec<RetrievalRecord> =
+        collect_records_many(&rec_items, &cfg.train_bounds).into_iter().flatten().collect();
+    let sample_items: Vec<(&Field, &Compressed, u64)> =
+        fields.iter().zip(&artifacts).map(|(f, c)| (f, c, f.timestep() as u64)).collect();
+    let esamples: Vec<TrainSample> =
+        build_samples_many(&sample_items, &cfg.emgard).into_iter().flatten().collect();
 
-    let mut records = Vec::new();
-    let mut esamples = Vec::new();
-    let mut num_levels = 0usize;
-    let mut num_planes = 0u32;
-    for slot in harvested {
-        let (recs, samples, nl, np) = slot.expect("worker filled every slot");
-        records.extend(recs);
-        esamples.extend(samples);
-        num_levels = nl;
-        num_planes = np;
-    }
+    let num_levels = artifacts[0].num_levels();
+    let num_planes = artifacts[0].num_planes();
     let (dmgard, _) = DMgard::train(&records, num_levels, num_planes, &cfg.dmgard);
     let (emgard, _) = EMgard::train(&esamples, &cfg.emgard);
     (TrainedModels { dmgard, emgard, num_levels, num_planes }, records)
@@ -154,7 +135,7 @@ pub fn saving(theory_bytes: u64, new_bytes: u64) -> f64 {
 /// Run all three retrievers on one snapshot over `rel_bounds`.
 pub fn compare_on_field(
     field: &Field,
-    models: &mut TrainedModels,
+    models: &TrainedModels,
     cfg: &ExperimentConfig,
     rel_bounds: &[f64],
 ) -> Vec<ComparisonRow> {
@@ -191,10 +172,7 @@ pub fn compare_on_field(
 
 /// Per-level signed prediction errors (`predicted − actual`) of D-MGARD on
 /// a set of records — the data behind Figs. 9–11.
-pub fn dmgard_prediction_errors(
-    records: &[RetrievalRecord],
-    model: &mut DMgard,
-) -> Vec<Vec<i64>> {
+pub fn dmgard_prediction_errors(records: &[RetrievalRecord], model: &DMgard) -> Vec<Vec<i64>> {
     let nl = model.num_levels();
     let mut per_level: Vec<Vec<i64>> = vec![Vec::with_capacity(records.len()); nl];
     for r in records {
@@ -241,12 +219,12 @@ mod tests {
     #[test]
     fn end_to_end_pipeline() {
         let cfg = fast_experiment();
-        let (mut models, records) = train_models((0..3).map(snapshot), &cfg);
+        let (models, records) = train_models((0..3).map(snapshot), &cfg);
         assert_eq!(records.len(), 3 * cfg.train_bounds.len());
 
         // Evaluate on an unseen later snapshot.
         let test = snapshot(4);
-        let rows = compare_on_field(&test, &mut models, &cfg, &[1e-4, 1e-2]);
+        let rows = compare_on_field(&test, &models, &cfg, &[1e-4, 1e-2]);
         assert_eq!(rows.len(), 2);
         for row in &rows {
             // Theory always respects the bound.
@@ -273,13 +251,11 @@ mod tests {
         assert_eq!(direct.planes, manual.planes);
 
         // Prediction errors are small-ish on the training records.
-        let per_level = dmgard_prediction_errors(&records, &mut models.dmgard);
+        let per_level = dmgard_prediction_errors(&records, &models.dmgard);
         assert_eq!(per_level.len(), models.num_levels);
-        let mean_abs: f64 = per_level
-            .iter()
-            .flat_map(|v| v.iter().map(|e| e.abs() as f64))
-            .sum::<f64>()
-            / (records.len() * models.num_levels) as f64;
+        let mean_abs: f64 =
+            per_level.iter().flat_map(|v| v.iter().map(|e| e.abs() as f64)).sum::<f64>()
+                / (records.len() * models.num_levels) as f64;
         assert!(mean_abs < 4.0, "mean abs prediction error {mean_abs}");
     }
 

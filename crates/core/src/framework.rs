@@ -15,7 +15,77 @@ pub struct RetrievalContext<'a> {
     pub features: &'a [f32],
 }
 
-/// A retrieval strategy.
+/// A retrieval strategy: given the retrieval context and an absolute error
+/// bound, choose the per-level plane counts to fetch.
+///
+/// Planning takes `&self` — no retriever mutates itself while planning —
+/// and the `Send + Sync` supertraits let one trained retriever be shared
+/// across worker threads (e.g. the batch APIs in [`crate::experiment`]).
+pub trait Retriever: Send + Sync {
+    /// Human-readable strategy name (used in reports and benches).
+    fn name(&self) -> &str;
+
+    /// Produce the plane counts for a requested absolute error bound.
+    fn plan(&self, ctx: &RetrievalContext<'_>, abs_bound: f64) -> RetrievalPlan;
+}
+
+/// Original MGARD: theory constants + greedy retriever. Stateless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Theory;
+
+impl Retriever for Theory {
+    fn name(&self) -> &str {
+        "MGARD"
+    }
+
+    fn plan(&self, ctx: &RetrievalContext<'_>, abs_bound: f64) -> RetrievalPlan {
+        ctx.compressed.plan_theory(abs_bound)
+    }
+}
+
+impl Retriever for DMgard {
+    fn name(&self) -> &str {
+        "D-MGARD"
+    }
+
+    fn plan(&self, ctx: &RetrievalContext<'_>, abs_bound: f64) -> RetrievalPlan {
+        self.predict_plan(ctx.features, abs_bound)
+    }
+}
+
+impl Retriever for EMgard {
+    fn name(&self) -> &str {
+        "E-MGARD"
+    }
+
+    fn plan(&self, ctx: &RetrievalContext<'_>, abs_bound: f64) -> RetrievalPlan {
+        // The inherent method (learned constants + greedy retriever).
+        EMgard::plan(self, ctx.compressed, abs_bound)
+    }
+}
+
+/// Combined retriever (paper future work): D-MGARD initialises the plan,
+/// E-MGARD's learned estimate grows/sheds planes to meet the bound.
+#[derive(Debug, Clone)]
+pub struct Combined {
+    pub dmgard: DMgard,
+    pub emgard: EMgard,
+}
+
+impl Retriever for Combined {
+    fn name(&self) -> &str {
+        "DE-MGARD"
+    }
+
+    fn plan(&self, ctx: &RetrievalContext<'_>, abs_bound: f64) -> RetrievalPlan {
+        let initial = self.dmgard.predict(ctx.features, abs_bound);
+        let constants = self.emgard.predict_constants(ctx.compressed);
+        pmr_mgard::retrieve::refine_plan(ctx.compressed.levels(), &constants, abs_bound, &initial)
+    }
+}
+
+/// A retrieval strategy chosen at runtime: a thin enum adapter over the
+/// [`Retriever`] implementations.
 pub enum AnyRetriever {
     /// Original MGARD: theory constants + greedy retriever.
     Theory,
@@ -23,37 +93,26 @@ pub enum AnyRetriever {
     DMgard(DMgard),
     /// E-MGARD: learned constants + the original greedy retriever.
     EMgard(EMgard),
-    /// Combined (paper future work): D-MGARD initialises the plan,
-    /// E-MGARD's learned estimate grows/sheds planes to meet the bound.
-    Combined(DMgard, EMgard),
+    /// The combined D+E retriever (see [`Combined`]).
+    Combined(Combined),
 }
 
-impl AnyRetriever {
-    pub fn name(&self) -> &'static str {
+impl Retriever for AnyRetriever {
+    fn name(&self) -> &str {
         match self {
-            AnyRetriever::Theory => "MGARD",
-            AnyRetriever::DMgard(_) => "D-MGARD",
-            AnyRetriever::EMgard(_) => "E-MGARD",
-            AnyRetriever::Combined(..) => "DE-MGARD",
+            AnyRetriever::Theory => Theory.name(),
+            AnyRetriever::DMgard(m) => Retriever::name(m),
+            AnyRetriever::EMgard(m) => Retriever::name(m),
+            AnyRetriever::Combined(c) => c.name(),
         }
     }
 
-    /// Produce the plane counts for a requested absolute error bound.
-    pub fn plan(&mut self, ctx: &RetrievalContext<'_>, abs_bound: f64) -> RetrievalPlan {
+    fn plan(&self, ctx: &RetrievalContext<'_>, abs_bound: f64) -> RetrievalPlan {
         match self {
-            AnyRetriever::Theory => ctx.compressed.plan_theory(abs_bound),
-            AnyRetriever::DMgard(m) => m.predict_plan(ctx.features, abs_bound),
-            AnyRetriever::EMgard(m) => m.plan(ctx.compressed, abs_bound),
-            AnyRetriever::Combined(d, e) => {
-                let initial = d.predict(ctx.features, abs_bound);
-                let constants = e.predict_constants(ctx.compressed);
-                pmr_mgard::retrieve::refine_plan(
-                    ctx.compressed.levels(),
-                    &constants,
-                    abs_bound,
-                    &initial,
-                )
-            }
+            AnyRetriever::Theory => Theory.plan(ctx, abs_bound),
+            AnyRetriever::DMgard(m) => Retriever::plan(m, ctx, abs_bound),
+            AnyRetriever::EMgard(m) => Retriever::plan(m, ctx, abs_bound),
+            AnyRetriever::Combined(c) => c.plan(ctx, abs_bound),
         }
     }
 }
@@ -71,7 +130,11 @@ pub struct RetrievalOutcome {
 }
 
 /// Execute `plan` against `compressed` and measure against `original`.
-pub fn execute(original: &Field, compressed: &Compressed, plan: &RetrievalPlan) -> RetrievalOutcome {
+pub fn execute(
+    original: &Field,
+    compressed: &Compressed,
+    plan: &RetrievalPlan,
+) -> RetrievalOutcome {
     let rec = compressed.retrieve(plan);
     RetrievalOutcome {
         planes: plan.planes.clone(),
@@ -96,7 +159,7 @@ mod tests {
         let c = Compressed::compress(&field, &CompressConfig::default());
         let feats = retrieval_features(&field, &c);
         let ctx = RetrievalContext { compressed: &c, features: &feats };
-        let mut r = AnyRetriever::Theory;
+        let r = AnyRetriever::Theory;
         assert_eq!(r.name(), "MGARD");
         let bound = c.absolute_bound(1e-3);
         let plan = r.plan(&ctx, bound);
@@ -104,5 +167,36 @@ mod tests {
         assert!(outcome.achieved_err <= bound);
         assert!(outcome.bytes > 0);
         assert!(outcome.psnr > 20.0);
+    }
+
+    #[test]
+    fn retrievers_are_sync_shareable() {
+        fn assert_retriever<T: Retriever>() {}
+        assert_retriever::<Theory>();
+        assert_retriever::<DMgard>();
+        assert_retriever::<EMgard>();
+        assert_retriever::<Combined>();
+        assert_retriever::<AnyRetriever>();
+
+        // Planning through a shared reference from several threads.
+        let field = Field::from_fn("t", 0, Shape::cube(9), |x, y, _| {
+            ((x as f64) * 0.7).sin() + (y as f64) * 0.05
+        });
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let feats = retrieval_features(&field, &c);
+        let r: &dyn Retriever = &Theory;
+        let bound = c.absolute_bound(1e-3);
+        let plans: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let ctx = RetrievalContext { compressed: &c, features: &feats };
+                        r.plan(&ctx, bound).planes
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("planner thread")).collect()
+        });
+        assert!(plans.windows(2).all(|w| w[0] == w[1]));
     }
 }

@@ -24,6 +24,8 @@ pub mod framework;
 pub mod records;
 
 pub use dmgard::{DMgard, DMgardConfig};
-pub use emgard::{EMgard, EMgardConfig};
-pub use framework::{AnyRetriever, RetrievalContext, RetrievalOutcome};
-pub use records::{collect_records, standard_rel_bounds, RetrievalRecord};
+pub use emgard::{build_samples_many, EMgard, EMgardConfig};
+pub use framework::{
+    AnyRetriever, Combined, RetrievalContext, RetrievalOutcome, Retriever, Theory,
+};
+pub use records::{collect_records, collect_records_many, standard_rel_bounds, RetrievalRecord};

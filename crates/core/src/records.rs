@@ -7,7 +7,7 @@
 
 use crate::features;
 use pmr_field::{error::max_abs_error, Field};
-use pmr_mgard::Compressed;
+use pmr_mgard::{Compressed, ExecPolicy};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -52,6 +52,17 @@ pub fn collect_records(
     compressed: &Compressed,
     rel_bounds: &[f64],
 ) -> Vec<RetrievalRecord> {
+    collect_records_with(field, compressed, rel_bounds, &ExecPolicy::default())
+}
+
+/// [`collect_records`] with an explicit execution policy for the
+/// reconstructions the bound sweep performs.
+pub fn collect_records_with(
+    field: &Field,
+    compressed: &Compressed,
+    rel_bounds: &[f64],
+    exec: &ExecPolicy,
+) -> Vec<RetrievalRecord> {
     let base = features::retrieval_features(field, compressed);
     let mut achieved_cache: HashMap<Vec<u32>, f64> = HashMap::new();
     let mut out = Vec::with_capacity(rel_bounds.len());
@@ -59,7 +70,7 @@ pub fn collect_records(
         let abs = compressed.absolute_bound(rel);
         let plan = compressed.plan_theory(abs);
         let achieved = *achieved_cache.entry(plan.planes.clone()).or_insert_with(|| {
-            let rec = compressed.retrieve(&plan);
+            let rec = compressed.retrieve_with(&plan, exec);
             max_abs_error(field.data(), rec.data())
         });
         let retrieved_bytes = compressed.retrieved_bytes(&plan);
@@ -75,6 +86,38 @@ pub fn collect_records(
         });
     }
     out
+}
+
+/// Harvest records from many `(field, compressed)` pairs, fanning the
+/// snapshots out over worker threads.
+///
+/// Workers reconstruct under a serial inner policy (snapshot-level
+/// parallelism already saturates the cores, and serial execution is
+/// bit-identical to parallel), so the result equals calling
+/// [`collect_records`] per snapshot in order.
+pub fn collect_records_many(
+    items: &[(&Field, &Compressed)],
+    rel_bounds: &[f64],
+) -> Vec<Vec<RetrievalRecord>> {
+    let threads = ExecPolicy::default().resolved_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(|&(f, c)| collect_records(f, c, rel_bounds)).collect();
+    }
+    let mut out: Vec<Option<Vec<RetrievalRecord>>> = (0..items.len()).map(|_| None).collect();
+    let slots = parking_lot::Mutex::new(&mut out);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(field, compressed)) = items.get(i) else { break };
+                let recs =
+                    collect_records_with(field, compressed, rel_bounds, &ExecPolicy::serial());
+                slots.lock()[i] = Some(recs);
+            });
+        }
+    });
+    out.into_iter().map(|s| s.expect("worker filled every slot")).collect()
 }
 
 #[cfg(test)]
@@ -119,6 +162,27 @@ mod tests {
         }
         // Tighter bound never reads fewer bytes.
         assert!(recs.windows(2).all(|w| w[0].retrieved_bytes >= w[1].retrieved_bytes));
+    }
+
+    #[test]
+    fn collect_records_many_matches_sequential() {
+        let pairs: Vec<(Field, Compressed)> = (0..3)
+            .map(|t| {
+                let field = Field::from_fn("m", t, Shape::cube(9), move |x, y, z| {
+                    ((x as f64) * (0.4 + 0.03 * t as f64)).sin()
+                        + ((y + z) as f64 * 0.2).cos() * 0.5
+                });
+                let c = Compressed::compress(&field, &CompressConfig::default());
+                (field, c)
+            })
+            .collect();
+        let items: Vec<(&Field, &Compressed)> = pairs.iter().map(|(f, c)| (f, c)).collect();
+        let bounds = [1e-5, 1e-3, 1e-1];
+        let batched = collect_records_many(&items, &bounds);
+        assert_eq!(batched.len(), 3);
+        for (i, (f, c)) in pairs.iter().enumerate() {
+            assert_eq!(batched[i], collect_records(f, c, &bounds));
+        }
     }
 
     #[test]

@@ -10,10 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Maximum absolute pointwise error between two equal-length slices.
 pub fn max_abs_error(original: &[f64], reconstructed: &[f64]) -> f64 {
     assert_eq!(original.len(), reconstructed.len(), "length mismatch");
-    original
-        .iter()
-        .zip(reconstructed)
-        .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
+    original.iter().zip(reconstructed).fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
 }
 
 /// Mean squared error.

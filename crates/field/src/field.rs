@@ -161,9 +161,7 @@ mod tests {
 
     #[test]
     fn from_fn_layout_is_x_fastest() {
-        let f = Field::from_fn("t", 0, Shape::d3(2, 2, 2), |x, y, z| {
-            (x + 10 * y + 100 * z) as f64
-        });
+        let f = Field::from_fn("t", 0, Shape::d3(2, 2, 2), |x, y, z| (x + 10 * y + 100 * z) as f64);
         assert_eq!(f.data()[0], 0.0);
         assert_eq!(f.data()[1], 1.0); // x moved first
         assert_eq!(f.data()[2], 10.0); // then y

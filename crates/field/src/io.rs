@@ -16,6 +16,7 @@
 use crate::field::Field;
 use crate::shape::Shape;
 use bytes::{Buf, BufMut};
+use pmr_error::PmrError;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -42,8 +43,8 @@ pub fn to_bytes(field: &Field) -> Vec<u8> {
 }
 
 /// Deserialize a field from a byte buffer produced by [`to_bytes`].
-pub fn from_bytes(mut buf: &[u8]) -> io::Result<Field> {
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+pub fn from_bytes(mut buf: &[u8]) -> Result<Field, PmrError> {
+    let bad = |msg: &str| PmrError::malformed("field", msg);
     if buf.len() < 36 {
         return Err(bad("truncated header"));
     }
@@ -80,19 +81,22 @@ pub fn from_bytes(mut buf: &[u8]) -> io::Result<Field> {
 }
 
 /// Write a field to `path`, creating parent directories as needed.
-pub fn save(field: &Field, path: &Path) -> io::Result<()> {
+pub fn save(field: &Field, path: &Path) -> Result<(), PmrError> {
+    let io_err = |e: io::Error| PmrError::io_at(path, e);
     if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
+        fs::create_dir_all(parent).map_err(io_err)?;
     }
-    let mut f = io::BufWriter::new(fs::File::create(path)?);
-    f.write_all(&to_bytes(field))?;
-    f.flush()
+    let mut f = io::BufWriter::new(fs::File::create(path).map_err(io_err)?);
+    f.write_all(&to_bytes(field)).map_err(io_err)?;
+    f.flush().map_err(io_err)
 }
 
 /// Read a field previously written with [`save`].
-pub fn load(path: &Path) -> io::Result<Field> {
+pub fn load(path: &Path) -> Result<Field, PmrError> {
     let mut buf = Vec::new();
-    fs::File::open(path)?.read_to_end(&mut buf)?;
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| PmrError::io_at(path, e))?;
     from_bytes(&buf)
 }
 
@@ -139,12 +143,7 @@ mod tests {
 
     #[test]
     fn special_values_preserved() {
-        let f = Field::new(
-            "nan",
-            0,
-            Shape::d1(4),
-            vec![f64::NAN, f64::INFINITY, -0.0, 1e-308],
-        );
+        let f = Field::new("nan", 0, Shape::d1(4), vec![f64::NAN, f64::INFINITY, -0.0, 1e-308]);
         let rt = from_bytes(&to_bytes(&f)).unwrap();
         assert!(rt.data()[0].is_nan());
         assert_eq!(rt.data()[1], f64::INFINITY);

@@ -32,9 +32,7 @@ pub fn slice_z(field: &Field, z_index: usize) -> Field {
     let s = field.shape();
     assert!(z_index < s.dim(2), "z index out of range");
     let shape = Shape::d2(s.dim(0), s.dim(1));
-    Field::from_fn(field.name(), field.timestep(), shape, |x, y, _| {
-        field.get(x, y, z_index)
-    })
+    Field::from_fn(field.name(), field.timestep(), shape, |x, y, _| field.get(x, y, z_index))
 }
 
 /// Extract the axis-aligned box `[lo, hi)` (per-dimension half-open).

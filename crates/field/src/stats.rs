@@ -59,11 +59,8 @@ impl FieldStats {
         m3 /= nf;
         m4 /= nf;
         let std = m2.sqrt();
-        let (skewness, kurtosis) = if std > 0.0 {
-            (m3 / (std * std * std), m4 / (m2 * m2) - 3.0)
-        } else {
-            (0.0, 0.0)
-        };
+        let (skewness, kurtosis) =
+            if std > 0.0 { (m3 / (std * std * std), m4 / (m2 * m2) - 3.0) } else { (0.0, 0.0) };
 
         let shape = field.shape();
         let nx = shape.dim(0);
@@ -118,9 +115,8 @@ impl FieldStats {
     }
 
     /// Names of the entries returned by [`to_features`](Self::to_features).
-    pub const FEATURE_NAMES: [&'static str; 9] = [
-        "min", "max", "range", "mean", "std", "skewness", "kurtosis", "mean_abs_grad", "autocorr",
-    ];
+    pub const FEATURE_NAMES: [&'static str; 9] =
+        ["min", "max", "range", "mean", "std", "skewness", "kurtosis", "mean_abs_grad", "autocorr"];
 }
 
 #[cfg(test)]
@@ -150,8 +146,7 @@ mod tests {
 
     #[test]
     fn smooth_line_has_high_autocorr() {
-        let smooth =
-            Field::from_fn("s", 0, Shape::d1(256), |x, _, _| (x as f64 * 0.05).sin());
+        let smooth = Field::from_fn("s", 0, Shape::d1(256), |x, _, _| (x as f64 * 0.05).sin());
         let s = FieldStats::compute(&smooth);
         assert!(s.autocorr > 0.95, "autocorr = {}", s.autocorr);
     }

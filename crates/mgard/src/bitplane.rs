@@ -11,6 +11,7 @@
 //! `Err[b] = max_i |c_i − decode_b(c_i)|` for `b = 0..=B` — the per-level
 //! error matrix that both the theory estimator and E-MGARD consume.
 
+use crate::exec::ExecPolicy;
 use pmr_codec::{
     bitstream::{BitReader, BitWriter},
     lossless, negabinary,
@@ -102,6 +103,89 @@ impl LevelEncoding {
         LevelEncoding { count: coeffs.len(), num_planes: b, step, planes, error_row }
     }
 
+    /// [`LevelEncoding::encode`] under an explicit execution policy.
+    ///
+    /// The digit/error pass splits the coefficients into one contiguous chunk
+    /// per worker; each chunk collects a private error row and the rows are
+    /// merged with `f64::max` in chunk order, which is exact and therefore
+    /// bit-identical to the serial scan. The plane packing/compression pass
+    /// parallelizes across planes, which are independent by construction.
+    pub fn encode_with(coeffs: &[f64], num_planes: u32, exec: &ExecPolicy) -> Self {
+        assert!((3..=50).contains(&num_planes), "num_planes out of range");
+        let threads = exec.resolved_threads();
+        if threads <= 1 || coeffs.len() < 2 * threads {
+            return Self::encode(coeffs, num_planes);
+        }
+        let b = num_planes;
+        let max_abs = coeffs.iter().fold(0.0_f64, |m, &c| m.max(c.abs()));
+        if max_abs == 0.0 || !max_abs.is_finite() {
+            return Self::encode(coeffs, num_planes);
+        }
+
+        let step = max_abs / (1u64 << (b - 2)) as f64;
+        let step = if step > 0.0 { step } else { f64::MIN_POSITIVE };
+        let weights: Vec<i64> = (0..b).map(|k| (-2_i64).pow(b - 1 - k)).collect();
+
+        // Pass 1: fixed-point digits plus per-chunk error rows.
+        let mut digits = vec![0u64; coeffs.len()];
+        let csize = coeffs.len().div_ceil(threads).max(1);
+        let nchunks = coeffs.len().div_ceil(csize);
+        let mut rows: Vec<Vec<f64>> = vec![vec![0.0f64; b as usize + 1]; nchunks];
+        std::thread::scope(|scope| {
+            for ((dchunk, cchunk), row) in
+                digits.chunks_mut(csize).zip(coeffs.chunks(csize)).zip(rows.iter_mut())
+            {
+                let weights = &weights;
+                scope.spawn(move || {
+                    for (dst, &c) in dchunk.iter_mut().zip(cchunk) {
+                        let q = (c / step).round() as i64;
+                        let nb = negabinary::to_negabinary(q);
+                        *dst = nb;
+                        row[0] = row[0].max(c.abs());
+                        let mut val: i64 = 0;
+                        for (k, &w) in weights.iter().enumerate() {
+                            if nb >> (b - 1 - k as u32) & 1 == 1 {
+                                val += w;
+                            }
+                            let err = (c - val as f64 * step).abs();
+                            if err > row[k + 1] {
+                                row[k + 1] = err;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut error_row = vec![0.0f64; b as usize + 1];
+        for row in &rows {
+            for (e, &r) in error_row.iter_mut().zip(row) {
+                *e = e.max(r);
+            }
+        }
+
+        // Pass 2: pack and losslessly compress each plane; planes are
+        // independent, so they are distributed across workers whole.
+        let mut planes: Vec<Vec<u8>> = vec![Vec::new(); b as usize];
+        let pchunk = (b as usize).div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in planes.chunks_mut(pchunk).enumerate() {
+                let digits = &digits;
+                scope.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let shift = b - 1 - (ci * pchunk + j) as u32;
+                        let mut w = BitWriter::with_capacity(digits.len());
+                        for &nb in digits {
+                            w.push(nb >> shift & 1 == 1);
+                        }
+                        *slot = lossless::compress(&w.into_bytes());
+                    }
+                });
+            }
+        });
+
+        LevelEncoding { count: coeffs.len(), num_planes: b, step, planes, error_row }
+    }
+
     /// Number of coefficients.
     pub fn count(&self) -> usize {
         self.count
@@ -119,10 +203,7 @@ impl LevelEncoding {
 
     /// Compressed byte size of the first `b` planes.
     pub fn size_of_first(&self, b: u32) -> u64 {
-        self.planes[..b.min(self.num_planes) as usize]
-            .iter()
-            .map(|p| p.len() as u64)
-            .sum()
+        self.planes[..b.min(self.num_planes) as usize].iter().map(|p| p.len() as u64).sum()
     }
 
     /// Total compressed size of all planes.
@@ -238,10 +319,59 @@ impl LevelEncoding {
                 }
             }
         }
-        digits
-            .into_iter()
-            .map(|nb| negabinary::from_negabinary(nb) as f64 * self.step)
-            .collect()
+        digits.into_iter().map(|nb| negabinary::from_negabinary(nb) as f64 * self.step).collect()
+    }
+
+    /// [`LevelEncoding::decode`] under an explicit execution policy.
+    ///
+    /// Planes decompress independently in parallel, then coefficient chunks
+    /// assemble their digits by random-access bit reads — each coefficient is
+    /// produced by exactly one worker, so the output matches serial decoding
+    /// bit for bit.
+    pub fn decode_with(&self, b: u32, exec: &ExecPolicy) -> Vec<f64> {
+        let b = b.min(self.num_planes);
+        let threads = exec.resolved_threads();
+        if threads <= 1 || b == 0 || self.step == 0.0 || self.count < 2 * threads {
+            return self.decode(b);
+        }
+
+        // Pass 1: decompress the requested planes.
+        let mut plane_bytes: Vec<Vec<u8>> = vec![Vec::new(); b as usize];
+        let pchunk = (b as usize).div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in plane_bytes.chunks_mut(pchunk).enumerate() {
+                scope.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = lossless::decompress(&self.planes[ci * pchunk + j])
+                            .expect("internally produced plane must decompress");
+                    }
+                });
+            }
+        });
+
+        // Pass 2: assemble and dequantize coefficient chunks. Planes are
+        // packed MSB-first, so coefficient `i` is bit `7 - (i % 8)` of byte
+        // `i / 8` in every plane.
+        let mut out = vec![0.0f64; self.count];
+        let csize = self.count.div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in out.chunks_mut(csize).enumerate() {
+                let plane_bytes = &plane_bytes;
+                scope.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let i = ci * csize + j;
+                        let mut nb = 0u64;
+                        for (k, bytes) in plane_bytes.iter().enumerate() {
+                            if bytes[i >> 3] >> (7 - (i & 7)) & 1 == 1 {
+                                nb |= 1u64 << (self.num_planes - 1 - k as u32);
+                            }
+                        }
+                        *slot = negabinary::from_negabinary(nb) as f64 * self.step;
+                    }
+                });
+            }
+        });
+        out
     }
 }
 
@@ -276,11 +406,7 @@ mod tests {
         let enc = LevelEncoding::encode(&coeffs, 24);
         for b in 0..=24u32 {
             let dec = enc.decode(b);
-            let actual = coeffs
-                .iter()
-                .zip(&dec)
-                .map(|(a, d)| (a - d).abs())
-                .fold(0.0f64, f64::max);
+            let actual = coeffs.iter().zip(&dec).map(|(a, d)| (a - d).abs()).fold(0.0f64, f64::max);
             let recorded = enc.error_at(b);
             assert!(
                 (actual - recorded).abs() < 1e-12 * (1.0 + actual),
@@ -345,5 +471,38 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn too_few_planes_rejected() {
         let _ = LevelEncoding::encode(&[1.0], 2);
+    }
+
+    #[test]
+    fn parallel_encode_is_bit_identical() {
+        let coeffs = sample_coeffs(3001);
+        let serial = LevelEncoding::encode(&coeffs, 30);
+        for exec in [ExecPolicy::with_threads(4), ExecPolicy::with_threads(7)] {
+            let par = LevelEncoding::encode_with(&coeffs, 30, &exec);
+            assert_eq!(par.to_bytes(), serial.to_bytes(), "{exec:?}");
+            let row_bits =
+                |e: &LevelEncoding| e.error_row().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(row_bits(&par), row_bits(&serial), "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_decode_matches_serial() {
+        let coeffs = sample_coeffs(2777);
+        let enc = LevelEncoding::encode(&coeffs, 32);
+        for b in [0u32, 1, 7, 16, 32] {
+            let serial = enc.decode(b);
+            let par = enc.decode_with(b, &ExecPolicy::with_threads(4));
+            let same = serial.iter().zip(&par).all(|(a, x)| a.to_bits() == x.to_bits());
+            assert!(same, "b={b}");
+        }
+    }
+
+    #[test]
+    fn parallel_encode_degenerate_zero_level() {
+        let coeffs = vec![0.0; 4096];
+        let par = LevelEncoding::encode_with(&coeffs, 32, &ExecPolicy::with_threads(4));
+        let serial = LevelEncoding::encode(&coeffs, 32);
+        assert_eq!(par.to_bytes(), serial.to_bytes());
     }
 }

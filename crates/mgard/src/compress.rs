@@ -5,11 +5,18 @@
 use crate::bitplane::{LevelEncoding, DEFAULT_BITPLANES};
 use crate::decompose::{Decomposer, TransformMode};
 use crate::estimate::{estimate_error, theory_constants};
+use crate::exec::{ExecPolicy, AUTO, PARALLEL_MIN_COEFFS, PARALLEL_MIN_POINTS};
 use crate::retrieve::{greedy_plan, plan_size, RetrievalPlan};
+use pmr_error::PmrError;
 use pmr_field::{Field, Shape};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Compression parameters.
+///
+/// Prefer [`CompressConfig::builder`], which validates the knobs; direct
+/// field construction remains available for backward compatibility.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CompressConfig {
     /// Number of coefficient levels `L` (clamped to the shape's maximum).
@@ -18,6 +25,13 @@ pub struct CompressConfig {
     pub num_planes: u32,
     /// Multilevel transform variant.
     pub mode: TransformMode,
+    /// Worker threads for the parallel data path; `0` = one per available
+    /// core (see [`crate::exec::ExecPolicy`]).
+    #[serde(default)]
+    pub threads: usize,
+    /// Strided lines per transform work unit; `0` = auto.
+    #[serde(default)]
+    pub chunk_lines: usize,
 }
 
 impl Default for CompressConfig {
@@ -26,7 +40,96 @@ impl Default for CompressConfig {
             levels: 5,
             num_planes: DEFAULT_BITPLANES,
             mode: TransformMode::L2Projection,
+            threads: AUTO,
+            chunk_lines: AUTO,
         }
+    }
+}
+
+impl CompressConfig {
+    /// A validating builder over these parameters.
+    pub fn builder() -> CompressConfigBuilder {
+        CompressConfigBuilder::default()
+    }
+
+    /// The execution policy implied by the `threads`/`chunk_lines` knobs.
+    pub fn exec(&self) -> ExecPolicy {
+        ExecPolicy { threads: self.threads, chunk_lines: self.chunk_lines }
+    }
+}
+
+/// Builder for [`CompressConfig`] that validates every knob at `build` time.
+#[derive(Debug, Clone, Default)]
+pub struct CompressConfigBuilder {
+    levels: Option<usize>,
+    num_planes: Option<u32>,
+    mode: Option<TransformMode>,
+    threads: Option<usize>,
+    chunk_lines: Option<usize>,
+}
+
+impl CompressConfigBuilder {
+    /// Number of coefficient levels `L` (must be ≥ 1; clamped to the shape's
+    /// maximum at compression time).
+    pub fn levels(mut self, levels: usize) -> Self {
+        self.levels = Some(levels);
+        self
+    }
+
+    /// Bit-planes per level `B` (must lie in `3..=50`).
+    pub fn num_planes(mut self, num_planes: u32) -> Self {
+        self.num_planes = Some(num_planes);
+        self
+    }
+
+    /// Multilevel transform variant.
+    pub fn mode(mut self, mode: TransformMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Explicit worker thread count (must be ≥ 1; omit for one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Strided lines per transform work unit (must be ≥ 1; omit for auto).
+    pub fn chunk_lines(mut self, chunk_lines: usize) -> Self {
+        self.chunk_lines = Some(chunk_lines);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<CompressConfig, PmrError> {
+        let defaults = CompressConfig::default();
+        let levels = self.levels.unwrap_or(defaults.levels);
+        if levels == 0 {
+            return Err(PmrError::invalid_config("levels must be >= 1"));
+        }
+        let num_planes = self.num_planes.unwrap_or(defaults.num_planes);
+        if !(3..=50).contains(&num_planes) {
+            return Err(PmrError::invalid_config(format!(
+                "num_planes must lie in 3..=50, got {num_planes}"
+            )));
+        }
+        if self.threads == Some(0) {
+            return Err(PmrError::invalid_config(
+                "threads must be >= 1 (omit the call for automatic parallelism)",
+            ));
+        }
+        if self.chunk_lines == Some(0) {
+            return Err(PmrError::invalid_config(
+                "chunk_lines must be >= 1 (omit the call for the automatic chunk size)",
+            ));
+        }
+        Ok(CompressConfig {
+            levels,
+            num_planes,
+            mode: self.mode.unwrap_or(defaults.mode),
+            threads: self.threads.unwrap_or(AUTO),
+            chunk_lines: self.chunk_lines.unwrap_or(AUTO),
+        })
     }
 }
 
@@ -59,6 +162,9 @@ pub struct Compressed {
     /// that relative error bounds can be converted on retrieval (the paper
     /// assumes ranges are collected during the simulation).
     value_range: f64,
+    /// Execution policy used by `retrieve`; runtime-only, not persisted.
+    #[serde(skip, default)]
+    exec: ExecPolicy,
 }
 
 impl Compressed {
@@ -70,29 +176,53 @@ impl Compressed {
         levels: Vec<LevelEncoding>,
         value_range: f64,
     ) -> Option<Self> {
-        if levels.len() != decomposer.levels() || !value_range.is_finite() || value_range < 0.0
-        {
+        if levels.len() != decomposer.levels() || !value_range.is_finite() || value_range < 0.0 {
             return None;
         }
         // Level coefficient counts must match the decomposition layout.
-        let expected: Vec<usize> =
-            decomposer.level_indices().iter().map(Vec::len).collect();
+        let expected: Vec<usize> = decomposer.level_indices().iter().map(Vec::len).collect();
         if levels.iter().zip(&expected).any(|(l, &e)| l.count() != e) {
             return None;
         }
         let constants = theory_constants(&decomposer);
-        Some(Compressed { name, timestep, decomposer, levels, constants, value_range })
+        Some(Compressed {
+            name,
+            timestep,
+            decomposer,
+            levels,
+            constants,
+            value_range,
+            exec: ExecPolicy::default(),
+        })
     }
 
     /// Decompose, interleave and bit-plane encode `field`.
+    ///
+    /// The `threads`/`chunk_lines` knobs of `cfg` drive the parallel data
+    /// path; results are bit-identical regardless of the policy. Small
+    /// fields are processed serially even under a parallel policy (see
+    /// [`crate::exec`]).
     pub fn compress(field: &Field, cfg: &CompressConfig) -> Self {
+        Self::compress_with(field, cfg, &cfg.exec())
+    }
+
+    /// [`Compressed::compress`] with the execution policy overridden (used by
+    /// the batch APIs to nest snapshot-level and line-level parallelism).
+    pub fn compress_with(field: &Field, cfg: &CompressConfig, exec: &ExecPolicy) -> Self {
         let decomposer = Decomposer::new(field.shape(), cfg.levels, cfg.mode);
         let mut data = field.data().to_vec();
-        decomposer.decompose(&mut data);
+        let gated = exec.gate(data.len(), PARALLEL_MIN_POINTS);
+        decomposer.decompose_with(&mut data, &gated);
         let levels: Vec<LevelEncoding> = decomposer
             .interleave(&data)
             .iter()
-            .map(|coeffs| LevelEncoding::encode(coeffs, cfg.num_planes))
+            .map(|coeffs| {
+                LevelEncoding::encode_with(
+                    coeffs,
+                    cfg.num_planes,
+                    &exec.gate(coeffs.len(), PARALLEL_MIN_COEFFS),
+                )
+            })
             .collect();
         let constants = theory_constants(&decomposer);
         Compressed {
@@ -102,7 +232,34 @@ impl Compressed {
             levels,
             constants,
             value_range: field.value_range(),
+            exec: *exec,
         }
+    }
+
+    /// Compress a batch of snapshots, fanning out across worker threads —
+    /// one snapshot per worker, each compressed serially inside its worker.
+    /// Results are identical to calling [`Compressed::compress`] per field.
+    pub fn compress_many(fields: &[Field], cfg: &CompressConfig) -> Vec<Compressed> {
+        let exec = cfg.exec();
+        let threads = exec.resolved_threads().min(fields.len());
+        if threads <= 1 {
+            return fields.iter().map(|f| Self::compress(f, cfg)).collect();
+        }
+        let mut out: Vec<Option<Compressed>> = (0..fields.len()).map(|_| None).collect();
+        let slots = Mutex::new(&mut out);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(field) = fields.get(i) else { break };
+                    let mut c = Self::compress_with(field, cfg, &ExecPolicy::serial());
+                    c.exec = exec;
+                    slots.lock().expect("batch slot lock poisoned")[i] = Some(c);
+                });
+            }
+        });
+        out.into_iter().map(|c| c.expect("every batch slot filled")).collect()
     }
 
     pub fn name(&self) -> &str {
@@ -147,6 +304,17 @@ impl Compressed {
         self.value_range
     }
 
+    /// The execution policy used by [`Compressed::retrieve`].
+    pub fn exec(&self) -> ExecPolicy {
+        self.exec
+    }
+
+    /// Override the execution policy used by [`Compressed::retrieve`]
+    /// (loaded artifacts default to automatic parallelism).
+    pub fn set_exec(&mut self, exec: ExecPolicy) {
+        self.exec = exec;
+    }
+
     /// Convert a relative error bound to the absolute bound used internally.
     pub fn absolute_bound(&self, rel_bound: f64) -> f64 {
         rel_bound * self.value_range
@@ -188,15 +356,22 @@ impl Compressed {
 
     /// Decode the planes selected by `plan` and recompose the approximation.
     pub fn retrieve(&self, plan: &RetrievalPlan) -> Field {
+        self.retrieve_with(plan, &self.exec)
+    }
+
+    /// [`Compressed::retrieve`] with the execution policy overridden (used
+    /// by the batch APIs to run whole retrievals serially inside workers).
+    pub fn retrieve_with(&self, plan: &RetrievalPlan, exec: &ExecPolicy) -> Field {
         assert_eq!(plan.planes.len(), self.levels.len(), "plan/levels mismatch");
         let coeffs: Vec<Vec<f64>> = self
             .levels
             .iter()
             .zip(&plan.planes)
-            .map(|(l, &b)| l.decode(b))
+            .map(|(l, &b)| l.decode_with(b, &exec.gate(l.count(), PARALLEL_MIN_COEFFS)))
             .collect();
         let mut data = self.decomposer.deinterleave(&coeffs);
-        self.decomposer.recompose(&mut data);
+        let gated = exec.gate(data.len(), PARALLEL_MIN_POINTS);
+        self.decomposer.recompose_with(&mut data, &gated);
         Field::new(self.name.clone(), self.timestep, self.decomposer.shape(), data)
     }
 
@@ -215,14 +390,15 @@ impl Compressed {
             .enumerate()
             .map(|(l, (lvl, &b))| {
                 if l <= target_level {
-                    lvl.decode(b)
+                    lvl.decode_with(b, &self.exec.gate(lvl.count(), PARALLEL_MIN_COEFFS))
                 } else {
                     vec![0.0; lvl.count()]
                 }
             })
             .collect();
         let mut data = self.decomposer.deinterleave(&coeffs);
-        let coarse = self.decomposer.recompose_to_level(&mut data, target_level);
+        let gated = self.exec.gate(data.len(), PARALLEL_MIN_POINTS);
+        let coarse = self.decomposer.recompose_to_level_with(&mut data, target_level, &gated);
         Field::new(
             self.name.clone(),
             self.timestep,
@@ -230,6 +406,32 @@ impl Compressed {
             coarse,
         )
     }
+}
+
+/// Execute a batch of retrievals, fanning out across worker threads — one
+/// `(artifact, plan)` pair per worker at a time, each retrieval running
+/// serially inside its worker. Results are identical to calling
+/// [`Compressed::retrieve`] per pair.
+pub fn retrieve_many(items: &[(&Compressed, &RetrievalPlan)]) -> Vec<Field> {
+    let exec = items.first().map_or_else(ExecPolicy::default, |(c, _)| c.exec());
+    let threads = exec.resolved_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(|(c, p)| c.retrieve(p)).collect();
+    }
+    let mut out: Vec<Option<Field>> = (0..items.len()).map(|_| None).collect();
+    let slots = Mutex::new(&mut out);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((c, plan)) = items.get(i) else { break };
+                let field = c.retrieve_with(plan, &ExecPolicy::serial());
+                slots.lock().expect("batch slot lock poisoned")[i] = Some(field);
+            });
+        }
+    });
+    out.into_iter().map(|f| f.expect("every batch slot filled")).collect()
 }
 
 #[cfg(test)]
@@ -326,9 +528,8 @@ mod tests {
 
     #[test]
     fn one_dimensional_fields_compress() {
-        let field = Field::from_fn("line", 0, Shape::d1(65), |x, _, _| {
-            ((x as f64) * 0.17).sin() * 3.0
-        });
+        let field =
+            Field::from_fn("line", 0, Shape::d1(65), |x, _, _| ((x as f64) * 0.17).sin() * 3.0);
         let c = Compressed::compress(&field, &CompressConfig::default());
         assert_eq!(c.num_levels(), 5);
         for bound in [1e-2, 1e-5] {
@@ -446,5 +647,70 @@ mod tests {
         let p1 = c.plan_theory(1e-3);
         let p2 = c.clone().plan_theory(1e-3);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn builder_produces_defaults_and_validates() {
+        let cfg = CompressConfig::builder().build().expect("defaults are valid");
+        assert_eq!(cfg, CompressConfig::default());
+
+        let cfg = CompressConfig::builder()
+            .levels(4)
+            .num_planes(20)
+            .mode(TransformMode::Interpolation)
+            .threads(2)
+            .chunk_lines(8)
+            .build()
+            .expect("valid custom config");
+        assert_eq!(cfg.levels, 4);
+        assert_eq!(cfg.num_planes, 20);
+        assert_eq!(cfg.mode, TransformMode::Interpolation);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.chunk_lines, 8);
+
+        assert!(CompressConfig::builder().levels(0).build().is_err());
+        assert!(CompressConfig::builder().num_planes(2).build().is_err());
+        assert!(CompressConfig::builder().num_planes(51).build().is_err());
+        assert!(CompressConfig::builder().threads(0).build().is_err());
+        assert!(CompressConfig::builder().chunk_lines(0).build().is_err());
+    }
+
+    #[test]
+    fn compress_many_matches_individual_compress() {
+        let fields: Vec<Field> = (0..5)
+            .map(|t| {
+                Field::from_fn("batch", t, Shape::cube(9), move |x, y, z| {
+                    ((x + 2 * y + 3 * z + 7 * t) as f64 * 0.21).sin()
+                })
+            })
+            .collect();
+        let cfg = CompressConfig { threads: 4, ..Default::default() };
+        let batch = Compressed::compress_many(&fields, &cfg);
+        assert_eq!(batch.len(), fields.len());
+        for (f, c) in fields.iter().zip(&batch) {
+            let one = Compressed::compress(f, &cfg);
+            assert_eq!(crate::persist::to_bytes(c), crate::persist::to_bytes(&one));
+            assert_eq!(c.timestep(), f.timestep());
+        }
+    }
+
+    #[test]
+    fn retrieve_many_matches_individual_retrieve() {
+        let fields: Vec<Field> = (0..4)
+            .map(|t| {
+                Field::from_fn("batch", t, Shape::cube(9), move |x, y, z| {
+                    ((x * y + z + t) as f64 * 0.13).cos()
+                })
+            })
+            .collect();
+        let cfg = CompressConfig { threads: 4, ..Default::default() };
+        let batch = Compressed::compress_many(&fields, &cfg);
+        let plans: Vec<RetrievalPlan> = batch.iter().map(|c| c.plan_theory(1e-3)).collect();
+        let items: Vec<(&Compressed, &RetrievalPlan)> = batch.iter().zip(&plans).collect();
+        let many = retrieve_many(&items);
+        for ((c, plan), got) in items.iter().zip(&many) {
+            let one = c.retrieve(plan);
+            assert_eq!(one.data(), got.data());
+        }
     }
 }

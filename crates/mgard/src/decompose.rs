@@ -12,9 +12,12 @@
 //! `L-1` is the finest detail shell. Level `j > 0` holds the details created
 //! at decomposition step `s = (L-1) - j`.
 
+use crate::exec::{ExecPolicy, SendPtr};
 use crate::transform::{forward_line, inverse_line, LineScratch};
 use pmr_field::Shape;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
 
 /// Which multilevel transform to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,6 +107,58 @@ impl Decomposer {
         }
     }
 
+    /// [`Decomposer::decompose`] under an explicit execution policy.
+    ///
+    /// Each `(step, dimension)` phase transforms a set of fully independent
+    /// strided lines; worker threads claim fixed-size chunks of those lines,
+    /// so the parallel result is bit-identical to the serial one.
+    pub fn decompose_with(&self, data: &mut [f64], exec: &ExecPolicy) {
+        assert_eq!(data.len(), self.shape.len(), "data/shape length mismatch");
+        let phases: Vec<(usize, usize)> =
+            (0..self.steps()).flat_map(|s| (0..3).map(move |d| (s, d))).collect();
+        let threads = self.clamp_threads(exec, &phases);
+        if threads <= 1 {
+            self.decompose(data);
+        } else {
+            self.run_phases_parallel(data, &phases, true, exec, threads);
+        }
+    }
+
+    /// [`Decomposer::recompose`] under an explicit execution policy.
+    pub fn recompose_with(&self, data: &mut [f64], exec: &ExecPolicy) {
+        assert_eq!(data.len(), self.shape.len(), "data/shape length mismatch");
+        let phases: Vec<(usize, usize)> =
+            (0..self.steps()).rev().flat_map(|s| (0..3).rev().map(move |d| (s, d))).collect();
+        let threads = self.clamp_threads(exec, &phases);
+        if threads <= 1 {
+            self.recompose(data);
+        } else {
+            self.run_phases_parallel(data, &phases, false, exec, threads);
+        }
+    }
+
+    /// [`Decomposer::recompose_to_level`] under an explicit execution policy.
+    pub fn recompose_to_level_with(
+        &self,
+        data: &mut [f64],
+        target_level: usize,
+        exec: &ExecPolicy,
+    ) -> Vec<f64> {
+        assert_eq!(data.len(), self.shape.len(), "data/shape length mismatch");
+        assert!(target_level < self.levels(), "level out of range");
+        let stop_step = self.steps() - target_level;
+        let phases: Vec<(usize, usize)> = (stop_step..self.steps())
+            .rev()
+            .flat_map(|s| (0..3).rev().map(move |d| (s, d)))
+            .collect();
+        let threads = self.clamp_threads(exec, &phases);
+        if threads <= 1 {
+            return self.recompose_to_level(data, target_level);
+        }
+        self.run_phases_parallel(data, &phases, false, exec, threads);
+        self.gather_coarse(data, target_level, stop_step)
+    }
+
     /// Shape of the grid at coefficient level `target_level`
     /// (`0` = coarsest approximation grid, `levels() - 1` = one step above
     /// the full grid, `levels()` would be the full grid itself).
@@ -134,7 +189,11 @@ impl Decomposer {
                 self.transform_dim(data, s, d, false, &mut scratch);
             }
         }
-        // Gather the active nodes of `stop_step` into a dense coarse grid.
+        self.gather_coarse(data, target_level, stop_step)
+    }
+
+    /// Gather the active nodes of `stop_step` into a dense coarse grid.
+    fn gather_coarse(&self, data: &[f64], target_level: usize, stop_step: usize) -> Vec<f64> {
         let coarse = self.grid_shape_at_level(target_level);
         let stride = 1usize << stop_step;
         let mut out = Vec::with_capacity(coarse.len());
@@ -148,6 +207,22 @@ impl Decomposer {
         out
     }
 
+    /// Line geometry of the `(step, dimension)` phase, or `None` when the
+    /// dimension has collapsed to a single active point.
+    fn phase_job(&self, s: usize, d: usize) -> Option<PhaseJob> {
+        let n = self.shape.dim(d);
+        let m = active_size(n, s);
+        if m < 2 {
+            return None;
+        }
+        let stride = self.shape.stride(d) << s;
+        let (d1, d2) = other_dims(d);
+        let (n1, n2) = (self.shape.dim(d1), self.shape.dim(d2));
+        let (st1, st2) = (self.shape.stride(d1) << s, self.shape.stride(d2) << s);
+        let (m1, m2) = (active_size(n1, s), active_size(n2, s));
+        Some(PhaseJob { stride, st1, st2, m, m1, m2 })
+    }
+
     /// Run the 1-D transform along dimension `d` on every active line of
     /// step `s`.
     fn transform_dim(
@@ -158,24 +233,16 @@ impl Decomposer {
         forward: bool,
         scratch: &mut LineScratch,
     ) {
-        let n = self.shape.dim(d);
-        let m = active_size(n, s);
-        if m < 2 {
+        let Some(j) = self.phase_job(s, d) else {
             return;
-        }
-        let stride = self.shape.stride(d) << s;
-        let (d1, d2) = other_dims(d);
-        let (n1, n2) = (self.shape.dim(d1), self.shape.dim(d2));
-        let (st1, st2) = (self.shape.stride(d1) << s, self.shape.stride(d2) << s);
-        let (m1, m2) = (active_size(n1, s), active_size(n2, s));
-
+        };
         let mut line = std::mem::take(&mut scratch.line);
-        line.resize(m, 0.0);
-        for i2 in 0..m2 {
-            for i1 in 0..m1 {
-                let base = i1 * st1 + i2 * st2;
+        line.resize(j.m, 0.0);
+        for i2 in 0..j.m2 {
+            for i1 in 0..j.m1 {
+                let base = i1 * j.st1 + i2 * j.st2;
                 for (k, v) in line.iter_mut().enumerate() {
-                    *v = data[base + k * stride];
+                    *v = data[base + k * j.stride];
                 }
                 if forward {
                     forward_line(&mut line, self.mode, scratch);
@@ -183,11 +250,95 @@ impl Decomposer {
                     inverse_line(&mut line, self.mode, scratch);
                 }
                 for (k, v) in line.iter().enumerate() {
-                    data[base + k * stride] = *v;
+                    data[base + k * j.stride] = *v;
                 }
             }
         }
         scratch.line = line;
+    }
+
+    /// Cap the policy's thread count by the widest phase: extra workers
+    /// beyond one per line chunk only pay startup and barrier costs.
+    fn clamp_threads(&self, exec: &ExecPolicy, phases: &[(usize, usize)]) -> usize {
+        let chunk = exec.resolved_chunk_lines().max(1);
+        let max_chunks = phases
+            .iter()
+            .filter_map(|&(s, d)| self.phase_job(s, d))
+            .map(|j| (j.m1 * j.m2).div_ceil(chunk))
+            .max()
+            .unwrap_or(0);
+        exec.resolved_threads().min(max_chunks)
+    }
+
+    /// Execute a sequence of `(step, dimension)` transform phases on a pool
+    /// of `threads` scoped workers.
+    ///
+    /// Within one phase every strided line is independent: line `li` owns the
+    /// index set `{base(li) + k * stride}`, and distinct `li` produce disjoint
+    /// sets, so workers may scatter through a shared raw pointer. Phases are
+    /// separated by a [`Barrier`] because phase `p + 1` reads what phase `p`
+    /// wrote. Work is claimed from a per-phase atomic cursor in fixed-size
+    /// chunks; since each line's transform is self-contained, the assignment
+    /// of chunks to threads cannot affect the result — parallel output is
+    /// bit-identical to serial output.
+    fn run_phases_parallel(
+        &self,
+        data: &mut [f64],
+        phases: &[(usize, usize)],
+        forward: bool,
+        exec: &ExecPolicy,
+        threads: usize,
+    ) {
+        let chunk = exec.resolved_chunk_lines().max(1);
+        let jobs: Vec<Option<PhaseJob>> =
+            phases.iter().map(|&(s, d)| self.phase_job(s, d)).collect();
+        let cursors: Vec<AtomicUsize> = jobs.iter().map(|_| AtomicUsize::new(0)).collect();
+        let barrier = Barrier::new(threads);
+        let ptr = SendPtr(data.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let (jobs, cursors, barrier) = (&jobs, &cursors, &barrier);
+                scope.spawn(move || {
+                    let ptr = ptr;
+                    let mut scratch = LineScratch::new();
+                    let mut line: Vec<f64> = Vec::new();
+                    for (job, cursor) in jobs.iter().zip(cursors) {
+                        if let Some(j) = job {
+                            let total = j.m1 * j.m2;
+                            line.resize(j.m, 0.0);
+                            loop {
+                                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= total {
+                                    break;
+                                }
+                                for li in start..(start + chunk).min(total) {
+                                    let base = (li % j.m1) * j.st1 + (li / j.m1) * j.st2;
+                                    // SAFETY: line `li` reads and writes only
+                                    // `{base + k * stride | k < m}`, disjoint
+                                    // from every other line of this phase.
+                                    unsafe {
+                                        for (k, v) in line.iter_mut().enumerate() {
+                                            *v = *ptr.0.add(base + k * j.stride);
+                                        }
+                                    }
+                                    if forward {
+                                        forward_line(&mut line, self.mode, &mut scratch);
+                                    } else {
+                                        inverse_line(&mut line, self.mode, &mut scratch);
+                                    }
+                                    unsafe {
+                                        for (k, v) in line.iter().enumerate() {
+                                            *ptr.0.add(base + k * j.stride) = *v;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
     }
 
     /// Coefficient level of the node at `(x, y, z)` under the convention
@@ -226,10 +377,7 @@ impl Decomposer {
     /// level (the "interleaver" of the MGARD pipeline).
     pub fn interleave(&self, data: &[f64]) -> Vec<Vec<f64>> {
         assert_eq!(data.len(), self.shape.len());
-        self.level_indices()
-            .iter()
-            .map(|idxs| idxs.iter().map(|&i| data[i]).collect())
-            .collect()
+        self.level_indices().iter().map(|idxs| idxs.iter().map(|&i| data[i]).collect()).collect()
     }
 
     /// Scatter per-level coefficient arrays back into a full grid buffer.
@@ -257,6 +405,19 @@ pub fn active_size(n: usize, s: usize) -> usize {
     n.div_ceil(1 << s)
 }
 
+/// Geometry of one `(step, dimension)` transform phase: `m1 * m2` independent
+/// lines of `m` points each, with element stride `stride` and line-origin
+/// strides `st1`/`st2` over the cross dimensions.
+#[derive(Debug, Clone, Copy)]
+struct PhaseJob {
+    stride: usize,
+    st1: usize,
+    st2: usize,
+    m: usize,
+    m1: usize,
+    m2: usize,
+}
+
 fn other_dims(d: usize) -> (usize, usize) {
     match d {
         0 => (1, 2),
@@ -280,8 +441,7 @@ mod tests {
         let mut data = orig.clone();
         dec.decompose(&mut data);
         dec.recompose(&mut data);
-        let max_err =
-            orig.iter().zip(&data).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        let max_err = orig.iter().zip(&data).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(max_err < 1e-9, "shape={shape} levels={levels} mode={mode:?} err={max_err}");
     }
 
@@ -372,8 +532,8 @@ mod tests {
         let mut data = vec![5.5; shape.len()];
         dec.decompose(&mut data);
         let levels = dec.interleave(&data);
-        for lvl in 1..4 {
-            for &c in &levels[lvl] {
+        for (lvl, level) in levels.iter().enumerate().skip(1) {
+            for &c in level {
                 assert!(c.abs() < 1e-12, "level {lvl} coefficient {c}");
             }
         }
@@ -391,6 +551,55 @@ mod tests {
         assert_eq!(dec.active_dims_at_step(0), 2);
         assert_eq!(dec.active_dims_at_step(2), 1);
         roundtrip(shape, 5, TransformMode::L2Projection);
+    }
+
+    #[test]
+    fn parallel_transform_is_bit_identical() {
+        use crate::exec::ExecPolicy;
+        for shape in [Shape::d1(100), Shape::d2(33, 17), Shape::d3(17, 9, 13)] {
+            for mode in [TransformMode::Interpolation, TransformMode::L2Projection] {
+                let dec = Decomposer::new(shape, 5, mode);
+                let orig = ramp(shape.len());
+
+                let mut serial = orig.clone();
+                dec.decompose(&mut serial);
+                for exec in [
+                    ExecPolicy::with_threads(4),
+                    ExecPolicy { threads: 3, chunk_lines: 1 },
+                    ExecPolicy { threads: 2, chunk_lines: 5 },
+                ] {
+                    let mut par = orig.clone();
+                    dec.decompose_with(&mut par, &exec);
+                    let same = serial.iter().zip(&par).all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "decompose diverged: shape={shape} mode={mode:?} {exec:?}");
+
+                    let mut back = par.clone();
+                    dec.recompose_with(&mut back, &exec);
+                    let mut back_serial = serial.clone();
+                    dec.recompose(&mut back_serial);
+                    let same =
+                        back.iter().zip(&back_serial).all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "recompose diverged: shape={shape} mode={mode:?} {exec:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_recompose_to_level_matches_serial() {
+        use crate::exec::ExecPolicy;
+        let shape = Shape::cube(17);
+        let dec = Decomposer::new(shape, 4, TransformMode::L2Projection);
+        let mut data = ramp(shape.len());
+        dec.decompose(&mut data);
+        for lvl in 0..dec.levels() {
+            let mut a = data.clone();
+            let mut b = data.clone();
+            let coarse_serial = dec.recompose_to_level(&mut a, lvl);
+            let coarse_par = dec.recompose_to_level_with(&mut b, lvl, &ExecPolicy::with_threads(4));
+            assert_eq!(coarse_serial, coarse_par, "level {lvl}");
+            assert_eq!(a, b, "level {lvl} full buffer");
+        }
     }
 
     #[test]

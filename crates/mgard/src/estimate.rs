@@ -61,12 +61,7 @@ pub fn theory_constants(dec: &Decomposer) -> Vec<f64> {
 pub fn estimate_error(levels: &[LevelEncoding], constants: &[f64], b: &[u32]) -> f64 {
     assert_eq!(levels.len(), constants.len());
     assert_eq!(levels.len(), b.len());
-    levels
-        .iter()
-        .zip(constants)
-        .zip(b)
-        .map(|((lvl, &c), &bl)| c * lvl.error_at(bl))
-        .sum()
+    levels.iter().zip(constants).zip(b).map(|((lvl, &c), &bl)| c * lvl.error_at(bl)).sum()
 }
 
 #[cfg(test)]
@@ -81,8 +76,8 @@ mod tests {
         assert_eq!(c.len(), 5);
         assert_eq!(c[0], 1.0);
         // All dims active at every step for a 17^3 grid with 4 steps.
-        for j in 1..5 {
-            assert_eq!(c[j], 125.0);
+        for &cj in &c[1..5] {
+            assert_eq!(cj, 125.0);
         }
     }
 
@@ -123,26 +118,19 @@ mod tests {
                 .collect();
             let mut coeffs = original.clone();
             dec.decompose(&mut coeffs);
-            let levels: Vec<LevelEncoding> = dec
-                .interleave(&coeffs)
-                .iter()
-                .map(|c| LevelEncoding::encode(c, 32))
-                .collect();
+            let levels: Vec<LevelEncoding> =
+                dec.interleave(&coeffs).iter().map(|c| LevelEncoding::encode(c, 32)).collect();
             let constants = theory_constants(&dec);
 
             for planes in [0u32, 2, 5, 9, 14, 20, 32] {
                 let b = vec![planes; levels.len()];
                 let est = estimate_error(&levels, &constants, &b);
                 // Actual reconstruction with truncated planes.
-                let truncated: Vec<Vec<f64>> =
-                    levels.iter().map(|l| l.decode(planes)).collect();
+                let truncated: Vec<Vec<f64>> = levels.iter().map(|l| l.decode(planes)).collect();
                 let mut data = dec.deinterleave(&truncated);
                 dec.recompose(&mut data);
-                let actual = original
-                    .iter()
-                    .zip(&data)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0f64, f64::max);
+                let actual =
+                    original.iter().zip(&data).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
                 assert!(
                     actual <= est + 1e-12,
                     "mode={mode:?} planes={planes} actual={actual} est={est}"

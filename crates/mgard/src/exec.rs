@@ -1,0 +1,129 @@
+//! Execution policy for the parallel data path.
+//!
+//! Every hot stage in this crate — the per-dimension multilevel transforms,
+//! bit-plane encoding/decoding, and the batch compress/retrieve APIs — accepts
+//! an [`ExecPolicy`] that says how many worker threads to use and how work is
+//! chunked. The parallel paths are written so their output is *bit-identical*
+//! to the serial paths: strided lines are fully independent, per-chunk error
+//! reductions use `f64::max` (exact, order-independent), and chunk boundaries
+//! are derived from the policy, never from thread scheduling.
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel meaning "let the library pick" for [`ExecPolicy`] knobs.
+pub const AUTO: usize = 0;
+
+/// Grids smaller than this many points run the transforms serially even under
+/// a parallel policy: thread startup would dominate the work.
+pub const PARALLEL_MIN_POINTS: usize = 16_384;
+
+/// Levels with fewer coefficients than this are encoded/decoded serially even
+/// under a parallel policy.
+pub const PARALLEL_MIN_COEFFS: usize = 16_384;
+
+/// How work is spread across threads.
+///
+/// `threads == 0` (the [`AUTO`] sentinel and the default) resolves to
+/// [`std::thread::available_parallelism`]; `chunk_lines == 0` resolves to a
+/// fixed default chunk of strided lines per work unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecPolicy {
+    /// Worker thread count; `0` = one per available core.
+    pub threads: usize,
+    /// Strided lines claimed per work unit in the transform passes; `0` =
+    /// auto (currently 16).
+    pub chunk_lines: usize,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy { threads: AUTO, chunk_lines: AUTO }
+    }
+}
+
+impl ExecPolicy {
+    /// A policy that always runs on the calling thread.
+    pub fn serial() -> Self {
+        ExecPolicy { threads: 1, chunk_lines: AUTO }
+    }
+
+    /// A policy with an explicit thread count and automatic chunking.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPolicy { threads, chunk_lines: AUTO }
+    }
+
+    /// The thread count after resolving the [`AUTO`] sentinel.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == AUTO {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
+    /// The transform chunk size after resolving the [`AUTO`] sentinel.
+    pub fn resolved_chunk_lines(&self) -> usize {
+        if self.chunk_lines == AUTO {
+            16
+        } else {
+            self.chunk_lines
+        }
+    }
+
+    /// Whether this policy runs on the calling thread only.
+    pub fn is_serial(&self) -> bool {
+        self.resolved_threads() <= 1
+    }
+
+    /// This policy, demoted to serial when the work is too small to amortise
+    /// thread startup. Chunk boundaries are unaffected, so gating never
+    /// changes results — parallel and serial agree bit-for-bit regardless.
+    pub fn gate(&self, work_items: usize, min_items: usize) -> ExecPolicy {
+        if work_items < min_items {
+            ExecPolicy { threads: 1, chunk_lines: self.chunk_lines }
+        } else {
+            *self
+        }
+    }
+}
+
+/// Raw pointer wrapper so scoped worker threads can scatter into disjoint
+/// regions of one buffer.
+///
+/// # Safety
+///
+/// Only sound when every thread writes a disjoint set of elements and reads
+/// nothing another thread writes; the transform passes guarantee this because
+/// each strided line touches an index set unique to its `(i1, i2)` cross
+/// coordinates.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr(pub *mut f64);
+
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        let p = ExecPolicy::default();
+        assert!(p.resolved_threads() >= 1);
+        assert!(p.resolved_chunk_lines() >= 1);
+    }
+
+    #[test]
+    fn serial_policy_is_serial() {
+        assert!(ExecPolicy::serial().is_serial());
+        assert_eq!(ExecPolicy::with_threads(4).resolved_threads(), 4);
+        assert!(!ExecPolicy::with_threads(4).is_serial());
+    }
+
+    #[test]
+    fn gate_demotes_small_work() {
+        let p = ExecPolicy::with_threads(8);
+        assert!(p.gate(100, 1000).is_serial());
+        assert_eq!(p.gate(1000, 1000), p);
+    }
+}

@@ -31,14 +31,16 @@ pub mod bitplane;
 pub mod compress;
 pub mod decompose;
 pub mod estimate;
+pub mod exec;
 pub mod persist;
 pub mod retrieve;
 pub mod session;
 pub mod transform;
 
 pub use bitplane::{LevelEncoding, DEFAULT_BITPLANES};
-pub use compress::{CompressConfig, Compressed};
+pub use compress::{retrieve_many, CompressConfig, CompressConfigBuilder, Compressed};
 pub use decompose::{Decomposer, TransformMode};
 pub use estimate::theory_constants;
+pub use exec::ExecPolicy;
 pub use retrieve::{greedy_plan, plan_size, refine_plan, RetrievalPlan};
 pub use session::ProgressiveSession;

@@ -21,12 +21,17 @@
 use crate::bitplane::LevelEncoding;
 use crate::compress::Compressed;
 use crate::decompose::{Decomposer, TransformMode};
+use pmr_error::PmrError;
 use pmr_field::Shape;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 6] = b"PMRC1\0";
+
+fn malformed(detail: &str) -> PmrError {
+    PmrError::malformed("mgard artifact", detail)
+}
 
 /// Serialize an artifact to bytes.
 pub fn to_bytes(c: &Compressed) -> Vec<u8> {
@@ -54,7 +59,7 @@ pub fn to_bytes(c: &Compressed) -> Vec<u8> {
 }
 
 /// Deserialize an artifact previously produced by [`to_bytes`].
-pub fn from_bytes(buf: &[u8]) -> Option<Compressed> {
+pub fn from_bytes(buf: &[u8]) -> Result<Compressed, PmrError> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
         let s = buf.get(*pos..*pos + n)?;
@@ -71,74 +76,81 @@ pub fn from_bytes(buf: &[u8]) -> Option<Compressed> {
         Some(f64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
     };
 
-    if take(&mut pos, 6)? != MAGIC {
-        return None;
+    if take(&mut pos, 6).ok_or_else(|| malformed("truncated magic"))? != MAGIC {
+        return Err(malformed("bad magic"));
     }
-    let name_len = u32_at(&mut pos)? as usize;
+    let name_len = u32_at(&mut pos).ok_or_else(|| malformed("truncated name length"))? as usize;
     if name_len > 4096 {
-        return None;
+        return Err(malformed("name length exceeds 4096"));
     }
-    let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
-    let timestep = u64_at(&mut pos)? as usize;
-    let ndim = u32_at(&mut pos)? as usize;
-    let dx = u32_at(&mut pos)? as usize;
-    let dy = u32_at(&mut pos)? as usize;
-    let dz = u32_at(&mut pos)? as usize;
+    let name_bytes = take(&mut pos, name_len).ok_or_else(|| malformed("truncated name"))?.to_vec();
+    let name = String::from_utf8(name_bytes).map_err(|_| malformed("name is not valid UTF-8"))?;
+    let timestep = u64_at(&mut pos).ok_or_else(|| malformed("truncated timestep"))? as usize;
+    let ndim = u32_at(&mut pos).ok_or_else(|| malformed("truncated ndim"))? as usize;
+    let dx = u32_at(&mut pos).ok_or_else(|| malformed("truncated dims"))? as usize;
+    let dy = u32_at(&mut pos).ok_or_else(|| malformed("truncated dims"))? as usize;
+    let dz = u32_at(&mut pos).ok_or_else(|| malformed("truncated dims"))? as usize;
     // Cap the grid size well below anything a corrupted header could use
     // to drive an enormous allocation (2^28 points = 2 GiB of f64).
-    if dx == 0 || dy == 0 || dz == 0 || dx.checked_mul(dy)?.checked_mul(dz)? > (1 << 28) {
-        return None;
+    let points = dx.checked_mul(dy).and_then(|p| p.checked_mul(dz));
+    if dx == 0 || dy == 0 || dz == 0 || points.is_none_or(|p| p > 1 << 28) {
+        return Err(malformed("grid dimensions out of range"));
     }
     let shape = match ndim {
         1 => Shape::d1(dx),
         2 => Shape::d2(dx, dy),
         3 => Shape::d3(dx, dy, dz),
-        _ => return None,
+        _ => return Err(malformed("ndim must be 1, 2 or 3")),
     };
-    let num_levels = u32_at(&mut pos)? as usize;
+    let num_levels = u32_at(&mut pos).ok_or_else(|| malformed("truncated level count"))? as usize;
     if num_levels == 0 || num_levels > 64 {
-        return None;
+        return Err(malformed("level count out of range"));
     }
-    let mode = match take(&mut pos, 1)?[0] {
+    let mode = match take(&mut pos, 1).ok_or_else(|| malformed("truncated mode"))?[0] {
         0 => TransformMode::Interpolation,
         1 => TransformMode::L2Projection,
-        _ => return None,
+        _ => return Err(malformed("unknown transform mode")),
     };
-    let value_range = f64_at(&mut pos)?;
+    let value_range = f64_at(&mut pos).ok_or_else(|| malformed("truncated value range"))?;
 
     let decomposer = Decomposer::new(shape, num_levels, mode);
     if decomposer.levels() != num_levels {
-        return None; // stored level count impossible for this shape
+        return Err(malformed("stored level count impossible for this shape"));
     }
 
     let mut levels = Vec::with_capacity(num_levels);
-    for _ in 0..num_levels {
-        let (enc, used) = LevelEncoding::from_bytes(buf.get(pos..)?)?;
+    for l in 0..num_levels {
+        let rest = buf.get(pos..).ok_or_else(|| malformed("truncated level payload"))?;
+        let (enc, used) = LevelEncoding::from_bytes(rest)
+            .ok_or_else(|| PmrError::malformed("mgard artifact", format!("bad level {l}")))?;
         pos += used;
         levels.push(enc);
     }
     if pos != buf.len() {
-        return None;
+        return Err(malformed("trailing bytes after last level"));
     }
     Compressed::from_parts(name, timestep, decomposer, levels, value_range)
+        .ok_or_else(|| malformed("level layout does not match decomposition"))
 }
 
 /// Write an artifact to `path`, creating parent directories.
-pub fn save(c: &Compressed, path: &Path) -> io::Result<()> {
+pub fn save(c: &Compressed, path: &Path) -> Result<(), PmrError> {
+    let io_err = |e: io::Error| PmrError::io_at(path, e);
     if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
+        fs::create_dir_all(parent).map_err(io_err)?;
     }
-    let mut f = io::BufWriter::new(fs::File::create(path)?);
-    f.write_all(&to_bytes(c))?;
-    f.flush()
+    let mut f = io::BufWriter::new(fs::File::create(path).map_err(io_err)?);
+    f.write_all(&to_bytes(c)).map_err(io_err)?;
+    f.flush().map_err(io_err)
 }
 
 /// Read an artifact previously written with [`save`].
-pub fn load(path: &Path) -> io::Result<Compressed> {
+pub fn load(path: &Path) -> Result<Compressed, PmrError> {
     let mut buf = Vec::new();
-    fs::File::open(path)?.read_to_end(&mut buf)?;
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| PmrError::io_at(path, e))?;
     from_bytes(&buf)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed artifact"))
 }
 
 #[cfg(test)]
@@ -190,16 +202,16 @@ mod tests {
     fn corrupted_inputs_rejected_without_panic() {
         let (_, c) = artifact();
         let bytes = to_bytes(&c);
-        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_none());
-        assert!(from_bytes(&[]).is_none());
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(from_bytes(&[]).is_err());
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
-        assert!(from_bytes(&bad_magic).is_none());
+        assert!(from_bytes(&bad_magic).is_err());
         // Flip the stored level count to an impossible value.
         let mut bad = bytes.clone();
         // magic(6) + name_len(4) + name(3) + ts(8) + shape(16) = offset 37
         bad[37] = 63;
-        assert!(from_bytes(&bad).is_none());
+        assert!(from_bytes(&bad).is_err());
     }
 
     #[test]
@@ -207,6 +219,6 @@ mod tests {
         let (_, c) = artifact();
         let mut bytes = to_bytes(&c);
         bytes.push(0); // trailing garbage
-        assert!(from_bytes(&bytes).is_none());
+        assert!(from_bytes(&bytes).is_err());
     }
 }

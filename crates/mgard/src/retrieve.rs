@@ -34,19 +34,11 @@ impl RetrievalPlan {
 ///
 /// If the bound is unreachable even with every plane (possible only for
 /// bounds below the quantization floor), the plan holds all planes.
-pub fn greedy_plan(
-    levels: &[LevelEncoding],
-    constants: &[f64],
-    err_bound: f64,
-) -> RetrievalPlan {
+pub fn greedy_plan(levels: &[LevelEncoding], constants: &[f64], err_bound: f64) -> RetrievalPlan {
     assert_eq!(levels.len(), constants.len(), "constants/levels mismatch");
     assert!(err_bound >= 0.0, "error bound must be non-negative");
     let mut b: Vec<u32> = vec![0; levels.len()];
-    let mut est: f64 = levels
-        .iter()
-        .zip(constants)
-        .map(|(l, &c)| c * l.error_at(0))
-        .sum();
+    let mut est: f64 = levels.iter().zip(constants).map(|(l, &c)| c * l.error_at(0)).sum();
 
     while est > err_bound {
         // Pick the level whose next plane gives the best error reduction
@@ -92,17 +84,10 @@ pub fn refine_plan(
 ) -> RetrievalPlan {
     assert_eq!(levels.len(), constants.len(), "constants/levels mismatch");
     assert_eq!(levels.len(), initial.len(), "initial plan/levels mismatch");
-    let mut b: Vec<u32> = initial
-        .iter()
-        .zip(levels)
-        .map(|(&p, lvl)| p.min(lvl.num_planes()))
-        .collect();
-    let mut est: f64 = levels
-        .iter()
-        .zip(constants)
-        .zip(&b)
-        .map(|((l, &c), &bl)| c * l.error_at(bl))
-        .sum();
+    let mut b: Vec<u32> =
+        initial.iter().zip(levels).map(|(&p, lvl)| p.min(lvl.num_planes())).collect();
+    let mut est: f64 =
+        levels.iter().zip(constants).zip(&b).map(|((l, &c), &bl)| c * l.error_at(bl)).sum();
 
     // Grow: identical policy to `greedy_plan`.
     while est > err_bound {
@@ -201,11 +186,7 @@ mod tests {
         let constants = vec![1.0; 3];
         for bound in [1.0, 0.1, 1e-2, 1e-3] {
             let plan = greedy_plan(&levels, &constants, bound);
-            assert!(
-                plan.estimated_error <= bound,
-                "bound={bound} est={}",
-                plan.estimated_error
-            );
+            assert!(plan.estimated_error <= bound, "bound={bound} est={}", plan.estimated_error);
         }
     }
 

@@ -59,9 +59,7 @@ impl<'a> ProgressiveSession<'a> {
     pub fn refine_to_plan(&mut self, plan: &RetrievalPlan) -> u64 {
         assert_eq!(plan.planes.len(), self.planes.len(), "plan/levels mismatch");
         let mut delta = 0u64;
-        for (l, (cur, &want)) in
-            self.planes.iter_mut().zip(&plan.planes).enumerate()
-        {
+        for (l, (cur, &want)) in self.planes.iter_mut().zip(&plan.planes).enumerate() {
             let lvl = &self.compressed.levels()[l];
             let want = want.min(lvl.num_planes());
             if want > *cur {
@@ -86,10 +84,18 @@ impl<'a> ProgressiveSession<'a> {
         self.refine_to_plan(&plan)
     }
 
-    /// Reconstruct the field from everything fetched so far.
+    /// Reconstruct the field from everything fetched so far. Decoding and
+    /// recomposition run under the artifact's [`crate::exec::ExecPolicy`].
     pub fn current_field(&self) -> Field {
         let plan = RetrievalPlan::from_planes(self.planes.clone());
         self.compressed.retrieve(&plan)
+    }
+
+    /// Reconstruct under an explicit execution policy — lets many sessions
+    /// share a machine without oversubscribing it.
+    pub fn current_field_with(&self, exec: &crate::exec::ExecPolicy) -> Field {
+        let plan = RetrievalPlan::from_planes(self.planes.clone());
+        self.compressed.retrieve_with(&plan, exec)
     }
 }
 
@@ -129,9 +135,7 @@ mod tests {
         let via_session = session.current_field();
         let direct = c.retrieve(&c.plan_theory(c.absolute_bound(1e-4)));
         assert_eq!(via_session.data(), direct.data());
-        assert!(
-            max_abs_error(field.data(), via_session.data()) <= c.absolute_bound(1e-4)
-        );
+        assert!(max_abs_error(field.data(), via_session.data()) <= c.absolute_bound(1e-4));
     }
 
     #[test]
@@ -174,15 +178,24 @@ mod tests {
     }
 
     #[test]
+    fn explicit_policy_matches_default_reconstruction() {
+        use crate::exec::ExecPolicy;
+        let (_, c) = artifact();
+        let mut session = ProgressiveSession::new(&c);
+        session.refine_theory(c.absolute_bound(1e-4));
+        let default = session.current_field();
+        let serial = session.current_field_with(&ExecPolicy::serial());
+        let par = session.current_field_with(&ExecPolicy::with_threads(4));
+        assert_eq!(default.data(), serial.data());
+        assert_eq!(serial.data(), par.data());
+    }
+
+    #[test]
     fn out_of_range_plan_clamped() {
         let (_, c) = artifact();
         let mut session = ProgressiveSession::new(&c);
         session.refine_to_plan(&RetrievalPlan::from_planes(vec![99; c.num_levels()]));
-        assert!(session
-            .planes()
-            .iter()
-            .zip(c.levels())
-            .all(|(&b, l)| b == l.num_planes()));
+        assert!(session.planes().iter().zip(c.levels()).all(|(&b, l)| b == l.num_planes()));
         assert_eq!(session.fetched_bytes(), c.total_bytes());
     }
 }

@@ -223,11 +223,13 @@ mod tests {
                 a[i][n] = rhs[i];
             }
             for col in 0..n {
-                let p = a[col][col];
-                for r in col + 1..n {
-                    let f = a[r][col] / p;
-                    for c in col..=n {
-                        a[r][c] -= f * a[col][c];
+                let (upper, lower) = a.split_at_mut(col + 1);
+                let prow = &upper[col];
+                let p = prow[col];
+                for row in lower.iter_mut() {
+                    let f = row[col] / p;
+                    for (rc, &pc) in row.iter_mut().zip(prow).skip(col) {
+                        *rc -= f * pc;
                     }
                 }
             }
@@ -253,21 +255,21 @@ mod tests {
     fn mass_inverse_norm_bound_holds() {
         // Empirically check ‖M⁻¹‖_∞ ≤ 3 by solving for all unit vectors.
         for n in 2..20usize {
-            let mut max_rowsum = 0.0f64;
             let mut inv_cols = vec![vec![0.0; n]; n];
-            for j in 0..n {
+            for (j, col) in inv_cols.iter_mut().enumerate() {
                 let mut e = vec![0.0; n];
                 e[j] = 1.0;
                 let mut cp = Vec::new();
                 solve_coarse_mass(&mut e, &mut cp);
-                for i in 0..n {
-                    inv_cols[j][i] = e[i];
+                col.copy_from_slice(&e);
+            }
+            let mut rowsums = vec![0.0f64; n];
+            for col in &inv_cols {
+                for (rs, v) in rowsums.iter_mut().zip(col) {
+                    *rs += v.abs();
                 }
             }
-            for i in 0..n {
-                let rowsum: f64 = (0..n).map(|j| inv_cols[j][i].abs()).sum();
-                max_rowsum = max_rowsum.max(rowsum);
-            }
+            let max_rowsum = rowsums.into_iter().fold(0.0f64, f64::max);
             assert!(max_rowsum <= MASS_INVERSE_NORM_BOUND + 1e-9, "n={n} norm={max_rowsum}");
         }
     }

@@ -5,7 +5,7 @@ use pmr_field::{error::max_abs_error, Field, Shape};
 use pmr_mgard::{
     decompose::{Decomposer, TransformMode},
     estimate::{estimate_error, theory_constants},
-    CompressConfig, Compressed, LevelEncoding,
+    CompressConfig, Compressed, ExecPolicy, LevelEncoding,
 };
 use proptest::prelude::*;
 
@@ -18,10 +18,7 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
 }
 
 fn arb_mode() -> impl Strategy<Value = TransformMode> {
-    prop_oneof![
-        Just(TransformMode::Interpolation),
-        Just(TransformMode::L2Projection)
-    ]
+    prop_oneof![Just(TransformMode::Interpolation), Just(TransformMode::L2Projection)]
 }
 
 proptest! {
@@ -104,6 +101,57 @@ proptest! {
         dec.recompose(&mut rec);
         let actual = orig.iter().zip(&rec).map(|(a, r)| (a - r).abs()).fold(0.0f64, f64::max);
         prop_assert!(actual <= est * (1.0 + 1e-9) + 1e-12, "actual={actual} est={est}");
+    }
+
+    #[test]
+    fn chunked_transform_matches_unchunked(
+        shape in arb_shape(),
+        mode in arb_mode(),
+        levels in 1usize..6,
+        threads in 2usize..6,
+        chunk_lines in 1usize..33,
+        seed in any::<u64>(),
+    ) {
+        let orig: Vec<f64> = (0..shape.len())
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect();
+        let dec = Decomposer::new(shape, levels, mode);
+        let exec = ExecPolicy { threads, chunk_lines };
+
+        let mut serial = orig.clone();
+        dec.decompose(&mut serial);
+        let mut chunked = orig.clone();
+        dec.decompose_with(&mut chunked, &exec);
+        prop_assert!(
+            serial.iter().zip(&chunked).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "chunked decompose diverged from serial"
+        );
+
+        let mut back_serial = serial.clone();
+        dec.recompose(&mut back_serial);
+        let mut back_chunked = chunked;
+        dec.recompose_with(&mut back_chunked, &exec);
+        prop_assert!(
+            back_serial.iter().zip(&back_chunked).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "chunked recompose diverged from serial"
+        );
+    }
+
+    #[test]
+    fn chunked_encode_matches_unchunked(
+        coeffs in proptest::collection::vec(-1e3f64..1e3, 1..400),
+        planes in 4u32..34,
+        threads in 2usize..6,
+    ) {
+        let serial = LevelEncoding::encode(&coeffs, planes);
+        let par = LevelEncoding::encode_with(&coeffs, planes, &ExecPolicy::with_threads(threads));
+        prop_assert_eq!(par.to_bytes(), serial.to_bytes());
+        let serial_row: Vec<u64> = serial.error_row().iter().map(|v| v.to_bits()).collect();
+        let par_row: Vec<u64> = par.error_row().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(par_row, serial_row);
     }
 
     #[test]

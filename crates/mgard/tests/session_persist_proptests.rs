@@ -21,11 +21,17 @@ fn arb_field() -> impl Strategy<Value = Field> {
 }
 
 fn arb_config() -> impl Strategy<Value = CompressConfig> {
-    (2usize..6, 6u32..24, prop_oneof![
-        Just(TransformMode::Interpolation),
-        Just(TransformMode::L2Projection)
-    ])
-        .prop_map(|(levels, num_planes, mode)| CompressConfig { levels, num_planes, mode })
+    (
+        2usize..6,
+        6u32..24,
+        prop_oneof![Just(TransformMode::Interpolation), Just(TransformMode::L2Projection)],
+    )
+        .prop_map(|(levels, num_planes, mode)| CompressConfig {
+            levels,
+            num_planes,
+            mode,
+            ..Default::default()
+        })
 }
 
 proptest! {
@@ -60,7 +66,7 @@ proptest! {
         let mut bytes = persist::to_bytes(&c);
         let idx = flip_at.index(bytes.len());
         bytes[idx] = new_byte;
-        if let Some(rt) = persist::from_bytes(&bytes) {
+        if let Ok(rt) = persist::from_bytes(&bytes) {
             // If the mutation survived validation it must still be usable.
             let plan = rt.plan_full();
             let _ = rt.retrieved_bytes(&plan);

@@ -104,9 +104,8 @@ impl Standardizer {
         if buf.len() != 4 + dim * 8 {
             return None;
         }
-        let read = |off: usize| {
-            f32::from_le_bytes(buf[4 + off * 4..8 + off * 4].try_into().unwrap())
-        };
+        let read =
+            |off: usize| f32::from_le_bytes(buf[4 + off * 4..8 + off * 4].try_into().unwrap());
         let mean = (0..dim).map(read).collect();
         let std = (dim..2 * dim).map(read).collect();
         Some(Standardizer { mean, std })
@@ -141,10 +140,8 @@ impl Dataset {
         assert!((0.0..=1.0).contains(&train_frac), "fraction out of range");
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(&mut StdRng::seed_from_u64(seed));
-        let cut = ((self.len() as f64 * train_frac).round() as usize).clamp(
-            usize::from(self.len() > 1),
-            self.len(),
-        );
+        let cut = ((self.len() as f64 * train_frac).round() as usize)
+            .clamp(usize::from(self.len() > 1), self.len());
         let (a, b) = idx.split_at(cut);
         (
             Dataset::new(self.x.select_rows(a), self.y.select_rows(a)),
@@ -231,8 +228,7 @@ mod tests {
         let d = Dataset::new(x.clone(), x);
         let batches = d.batches(4, 1);
         assert_eq!(batches.len(), 3); // 4 + 4 + 3
-        let mut seen: Vec<f32> =
-            batches.iter().flat_map(|(bx, _)| bx.data().to_vec()).collect();
+        let mut seen: Vec<f32> = batches.iter().flat_map(|(bx, _)| bx.data().to_vec()).collect();
         seen.sort_by(f32::total_cmp);
         assert_eq!(seen, (0..n).map(|i| i as f32).collect::<Vec<_>>());
     }

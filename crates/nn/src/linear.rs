@@ -53,10 +53,17 @@ impl Linear {
 
     /// Forward pass; caches `x` for the backward pass.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = self.infer(x);
+        self.input = Some(x.clone());
+        y
+    }
+
+    /// Forward pass without caching: usable from shared references, so a
+    /// trained layer can serve concurrent inference.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.fan_in(), "input width mismatch");
         let mut y = x.matmul(&self.w);
         y.add_bias(&self.b);
-        self.input = Some(x.clone());
         y
     }
 

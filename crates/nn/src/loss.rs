@@ -25,12 +25,8 @@ impl Loss {
         assert_eq!(pred.rows(), target.rows(), "batch mismatch");
         assert_eq!(pred.cols(), target.cols(), "width mismatch");
         let n = (pred.rows() * pred.cols()) as f32;
-        let sum: f32 = pred
-            .data()
-            .iter()
-            .zip(target.data())
-            .map(|(&p, &t)| self.pointwise(p - t))
-            .sum();
+        let sum: f32 =
+            pred.data().iter().zip(target.data()).map(|(&p, &t)| self.pointwise(p - t)).sum();
         sum / n
     }
 

@@ -3,6 +3,7 @@
 use crate::activation::Activation;
 use crate::linear::Linear;
 use crate::tensor::Matrix;
+use pmr_error::PmrError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,19 +81,29 @@ impl Mlp {
         a
     }
 
+    /// Inference through shared references: no caches are written, so a
+    /// trained network is usable concurrently from many threads.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            a = act.apply_matrix(&layer.infer(&a));
+        }
+        a
+    }
+
+    /// Convenience: [`Mlp::infer`] for one input row.
+    pub fn infer_row(&self, row: &[f32]) -> Vec<f32> {
+        self.infer(&Matrix::row_vector(row)).data().to_vec()
+    }
+
     /// Inference without keeping caches around afterwards.
     pub fn predict(&mut self, x: &Matrix) -> Matrix {
-        let y = self.forward(x);
-        self.zs.clear();
-        for l in &mut self.layers {
-            l.clear_cache();
-        }
-        y
+        self.infer(x)
     }
 
     /// Convenience: predict for one input row.
     pub fn predict_row(&mut self, row: &[f32]) -> Vec<f32> {
-        self.predict(&Matrix::row_vector(row)).data().to_vec()
+        self.infer_row(row)
     }
 
     /// Backward pass from the loss gradient w.r.t. the network output.
@@ -208,6 +219,22 @@ impl Mlp {
         }
         Some(Mlp::from_parts(layers, acts))
     }
+
+    /// Write the serialized model to `path`, creating parent directories.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), PmrError> {
+        let io_err = |e: std::io::Error| PmrError::io_at(path, e);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        std::fs::write(path, self.to_bytes()).map_err(io_err)
+    }
+
+    /// Read a model previously written with [`Mlp::save`].
+    pub fn load(path: &std::path::Path) -> Result<Self, PmrError> {
+        let buf = std::fs::read(path).map_err(|e| PmrError::io_at(path, e))?;
+        Mlp::from_bytes(&buf)
+            .ok_or_else(|| PmrError::malformed("mlp model", "corrupt or truncated model file"))
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +347,29 @@ mod tests {
         bytes[0] = b'X';
         assert!(Mlp::from_bytes(&bytes).is_none());
         assert!(Mlp::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut mlp = tiny_mlp(11);
+        let x = Matrix::from_vec(3, 3, (0..9).map(|i| (i as f32 * 0.21).sin()).collect());
+        let y = mlp.forward(&x);
+        let shared = &mlp;
+        assert_eq!(shared.infer(&x), y);
+        assert_eq!(shared.infer_row(&[0.1, 0.2, 0.3]).len(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mlp = tiny_mlp(6);
+        let dir = std::env::temp_dir().join("pmr_nn_mlp_persist_test");
+        let path = dir.join("m.pmrn");
+        mlp.save(&path).unwrap();
+        let rt = Mlp::load(&path).unwrap();
+        let x = Matrix::from_vec(1, 3, vec![0.4, -0.7, 1.1]);
+        assert_eq!(mlp.infer(&x), rt.infer(&x));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(Mlp::load(&path).is_err());
     }
 
     #[test]

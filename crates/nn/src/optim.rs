@@ -118,9 +118,7 @@ impl Optimizer for Sgd {
         let v = &mut self.v;
         let mut off = 0usize;
         mlp.visit_params(|params, grads| {
-            for ((p, &g), vi) in
-                params.iter_mut().zip(grads).zip(&mut v[off..off + grads.len()])
-            {
+            for ((p, &g), vi) in params.iter_mut().zip(grads).zip(&mut v[off..off + grads.len()]) {
                 *vi = mu * *vi + g;
                 *p -= lr * *vi;
             }
@@ -162,8 +160,7 @@ impl LrSchedule {
             }
             LrSchedule::Cosine { min_lr } => {
                 let t = epoch as f32 / total.max(1) as f32;
-                min_lr
-                    + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
             }
         }
     }

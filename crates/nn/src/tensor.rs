@@ -200,7 +200,7 @@ mod tests {
         let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]); // 3x2
         let b = Matrix::from_vec(3, 2, vec![0.5, -1., 2., 0., 1., 3.]); // 3x2
         let c = a.t_matmul(&b); // 2x2 = Aᵀ B
-        // Aᵀ = [[1,3,5],[2,4,6]]
+                                // Aᵀ = [[1,3,5],[2,4,6]]
         assert_eq!(c.get(0, 0), 1. * 0.5 + 3. * 2. + 5. * 1.);
         assert_eq!(c.get(1, 1), -2. + 4. * 0. + 6. * 3.);
     }

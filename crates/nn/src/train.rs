@@ -180,8 +180,7 @@ mod tests {
         let data = quadratic_dataset(64);
         let cfg = TrainConfig { epochs: 5, batch_size: 16, lr: 1e-3, ..Default::default() };
         let run = || {
-            let mut mlp =
-                Mlp::new(&[1, 8, 1], Activation::Relu, Activation::Identity, 21);
+            let mut mlp = Mlp::new(&[1, 8, 1], Activation::Relu, Activation::Identity, 21);
             fit(&mut mlp, &data, &cfg)
         };
         assert_eq!(run(), run());
@@ -191,17 +190,9 @@ mod tests {
     fn fit_with_early_stopping_halts() {
         let data = quadratic_dataset(128);
         let (train, val) = data.shuffle_split(0.75, 1);
-        let mut mlp =
-            Mlp::new(&[1, 16, 1], Activation::LeakyRelu(0.01), Activation::Identity, 5);
+        let mut mlp = Mlp::new(&[1, 16, 1], Activation::LeakyRelu(0.01), Activation::Identity, 5);
         let cfg = TrainConfig { epochs: 500, batch_size: 32, lr: 5e-3, ..Default::default() };
-        let report = fit_with(
-            &mut mlp,
-            &train,
-            &cfg,
-            LrSchedule::Constant,
-            Some(&val),
-            Some(10),
-        );
+        let report = fit_with(&mut mlp, &train, &cfg, LrSchedule::Constant, Some(&val), Some(10));
         assert_eq!(report.train_loss.len(), report.val_loss.len());
         // With 500 epochs and patience 10 it should almost surely stop early.
         assert!(report.train_loss.len() <= 500);
@@ -213,17 +204,10 @@ mod tests {
     #[test]
     fn cosine_schedule_trains() {
         let data = quadratic_dataset(64);
-        let mut mlp =
-            Mlp::new(&[1, 12, 1], Activation::LeakyRelu(0.01), Activation::Identity, 7);
+        let mut mlp = Mlp::new(&[1, 12, 1], Activation::LeakyRelu(0.01), Activation::Identity, 7);
         let cfg = TrainConfig { epochs: 120, batch_size: 16, lr: 8e-3, ..Default::default() };
-        let report = fit_with(
-            &mut mlp,
-            &data,
-            &cfg,
-            LrSchedule::Cosine { min_lr: 1e-4 },
-            None,
-            None,
-        );
+        let report =
+            fit_with(&mut mlp, &data, &cfg, LrSchedule::Cosine { min_lr: 1e-4 }, None, None);
         assert!(report.train_loss.last().unwrap() < &(report.train_loss[0] / 5.0));
         assert!(!report.stopped_early);
         assert!(report.val_loss.is_empty());

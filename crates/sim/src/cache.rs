@@ -116,12 +116,8 @@ mod tests {
     fn gray_scott_cache_runs_once() {
         let cache = temp_cache("gs");
         std::fs::remove_dir_all(cache.dir()).ok();
-        let cfg = GrayScottConfig {
-            size: 8,
-            snapshots: 3,
-            steps_per_snapshot: 2,
-            ..Default::default()
-        };
+        let cfg =
+            GrayScottConfig { size: 8, snapshots: 3, steps_per_snapshot: 2, ..Default::default() };
         let u1 = cache.gray_scott(&cfg, GsSpecies::U, 1);
         let v2 = cache.gray_scott(&cfg, GsSpecies::V, 2);
         assert_eq!(u1.timestep(), 1);

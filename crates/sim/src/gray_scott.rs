@@ -80,8 +80,14 @@ impl GrayScottConfig {
     pub fn fingerprint(&self) -> String {
         format!(
             "gs_n{}_f{:.4}_k{:.4}_du{:.3}_dv{:.3}_dt{:.2}_sps{}_s{}",
-            self.size, self.feed, self.kill, self.du, self.dv, self.dt,
-            self.steps_per_snapshot, self.seed
+            self.size,
+            self.feed,
+            self.kill,
+            self.du,
+            self.dv,
+            self.dt,
+            self.steps_per_snapshot,
+            self.seed
         )
     }
 }
@@ -122,19 +128,11 @@ impl GrayScott {
             }
         }
         // Tiny broadband noise to break symmetry everywhere.
-        for i in 0..n {
-            u[i] += rng.random_range(-0.01..0.01);
+        for ui in u.iter_mut() {
+            *ui += rng.random_range(-0.01..0.01);
         }
 
-        GrayScott {
-            cfg,
-            shape,
-            u,
-            v,
-            scratch_u: vec![0.0; n],
-            scratch_v: vec![0.0; n],
-            steps: 0,
-        }
+        GrayScott { cfg, shape, u, v, scratch_u: vec![0.0; n], scratch_v: vec![0.0; n], steps: 0 }
     }
 
     pub fn config(&self) -> &GrayScottConfig {
@@ -178,11 +176,17 @@ impl GrayScott {
                     let i = row + x * sx;
                     let uc = u[i];
                     let vc = v[i];
-                    let lap_u = u[row + xm] + u[row + xp] + u[row_ym + x] + u[row_yp + x]
+                    let lap_u = u[row + xm]
+                        + u[row + xp]
+                        + u[row_ym + x]
+                        + u[row_yp + x]
                         + u[row_zm + x]
                         + u[row_zp + x]
                         - 6.0 * uc;
-                    let lap_v = v[row + xm] + v[row + xp] + v[row_ym + x] + v[row_yp + x]
+                    let lap_v = v[row + xm]
+                        + v[row + xp]
+                        + v[row_ym + x]
+                        + v[row_yp + x]
                         + v[row_zm + x]
                         + v[row_zp + x]
                         - 6.0 * vc;

@@ -162,8 +162,7 @@ pub fn warpx_field(cfg: &WarpXConfig, field: WarpXField, t: usize) -> Field {
         r * (1.0 - r).exp()
     };
     // Wake amplitude grows then saturates (dephasing).
-    let wake_amp =
-        cfg.a0 * cfg.a0 * resonance * (1.0 - (-3.0 * tn).exp()) * (1.0 - 0.4 * tn);
+    let wake_amp = cfg.a0 * cfg.a0 * resonance * (1.0 - (-3.0 * tn).exp()) * (1.0 - 0.4 * tn);
     // Accelerated bunch sits half a plasma wavelength behind the pulse and
     // gains charge over time; injection efficiency follows the resonance.
     let xb = xc - std::f64::consts::PI / kp;
@@ -213,17 +212,14 @@ pub fn warpx_field(cfg: &WarpXConfig, field: WarpXField, t: usize) -> Field {
                 // Electron bunch current (sharp) + plasma return current
                 // (oscillatory, opposite sign).
                 let db = x - xb;
-                let bunch =
-                    bunch_amp * (-db * db / (2.0 * sigma_b * sigma_b)).exp() * trans;
-                let ret = -0.3 * cfg.electron_density * wake_amp * behind
-                    * (kp * xi_rel).sin()
-                    * trans;
+                let bunch = bunch_amp * (-db * db / (2.0 * sigma_b * sigma_b)).exp() * trans;
+                let ret =
+                    -0.3 * cfg.electron_density * wake_amp * behind * (kp * xi_rel).sin() * trans;
                 bunch + ret
             }
         };
         for m in &modes {
-            v += m.amp
-                * (m.kx * x + m.ky * y + m.kz * z + m.phase + m.omega * tn).sin();
+            v += m.amp * (m.kx * x + m.ky * y + m.kz * z + m.phase + m.omega * tn).sin();
         }
         v + noise_amp * hash_noise(xi, yi, zi, salt)
     })

@@ -73,10 +73,7 @@ pub struct Placement {
 impl Placement {
     /// Explicit placement; every tier index must exist in `hierarchy`.
     pub fn new(level_to_tier: Vec<usize>, hierarchy: &StorageHierarchy) -> Self {
-        assert!(
-            level_to_tier.iter().all(|&t| t < hierarchy.len()),
-            "tier index out of range"
-        );
+        assert!(level_to_tier.iter().all(|&t| t < hierarchy.len()), "tier index out of range");
         Placement { level_to_tier }
     }
 
@@ -113,10 +110,7 @@ impl AccessProfile {
     /// Build from the theory plans of a bound sweep, uniformly weighted.
     pub fn from_bounds(compressed: &Compressed, abs_bounds: &[f64]) -> Self {
         AccessProfile {
-            plans: abs_bounds
-                .iter()
-                .map(|&b| (compressed.plan_theory(b), 1.0))
-                .collect(),
+            plans: abs_bounds.iter().map(|&b| (compressed.plan_theory(b), 1.0)).collect(),
         }
     }
 
@@ -197,11 +191,7 @@ pub fn retrieval_cost(
     let mut total_bytes = 0u64;
     let mut total_secs = 0.0;
     for (tier, &bytes) in hierarchy.tiers().iter().zip(&per_tier_bytes) {
-        let secs = if bytes > 0 {
-            tier.latency_s + bytes as f64 / tier.bandwidth_bps
-        } else {
-            0.0
-        };
+        let secs = if bytes > 0 { tier.latency_s + bytes as f64 / tier.bandwidth_bps } else { 0.0 };
         per_tier.push((bytes, secs));
         total_bytes += bytes;
         total_secs += secs;
@@ -310,11 +300,11 @@ mod tests {
         // Expected bytes per level are the mean of the two plans'.
         let p1 = c.plan_theory(bounds[0]);
         let p2 = c.plan_theory(bounds[1]);
-        for l in 0..c.num_levels() {
+        for (l, &h) in heat.iter().enumerate() {
             let exp = (c.levels()[l].size_of_first(p1.planes[l]) as f64
                 + c.levels()[l].size_of_first(p2.planes[l]) as f64)
                 / 2.0;
-            assert!((heat[l] - exp).abs() < 1e-9);
+            assert!((h - exp).abs() < 1e-9);
         }
     }
 
@@ -340,12 +330,7 @@ mod tests {
         let sizes: Vec<u64> = c.levels().iter().map(|l| l.total_size()).collect();
         // Fastest tier can hold everything except the largest level.
         let largest = *sizes.iter().max().unwrap();
-        let caps = vec![
-            sizes.iter().sum::<u64>() - largest,
-            u64::MAX,
-            u64::MAX,
-            u64::MAX,
-        ];
+        let caps = vec![sizes.iter().sum::<u64>() - largest, u64::MAX, u64::MAX, u64::MAX];
         let p = optimize_placement(&c, &profile, &h, &caps);
         let biggest_level = sizes.iter().position(|&s| s == largest).unwrap();
         assert_eq!(p.tier_of(biggest_level), 1, "over-capacity level must spill");
@@ -362,21 +347,15 @@ mod tests {
         let c = sample_compressed();
         let h = StorageHierarchy::summit_like();
         // Profile dominated by loose bounds: the fine levels are cold.
-        let profile = AccessProfile::from_bounds(
-            &c,
-            &[c.absolute_bound(1e-1), c.absolute_bound(1e-2)],
-        );
+        let profile =
+            AccessProfile::from_bounds(&c, &[c.absolute_bound(1e-1), c.absolute_bound(1e-2)]);
         // Fast tier only fits a subset.
         let sizes: Vec<u64> = c.levels().iter().map(|l| l.total_size()).collect();
         let caps = vec![sizes.iter().sum::<u64>() / 2, u64::MAX, u64::MAX, u64::MAX];
         let optimized = optimize_placement(&c, &profile, &h, &caps);
         let naive = Placement::coarse_fast(c.num_levels(), &h);
         let expected_cost = |pl: &Placement| -> f64 {
-            profile
-                .plans
-                .iter()
-                .map(|(plan, w)| w * retrieval_cost(&c, plan, &h, pl).seconds)
-                .sum()
+            profile.plans.iter().map(|(plan, w)| w * retrieval_cost(&c, plan, &h, pl).seconds).sum()
         };
         assert!(
             expected_cost(&optimized) <= expected_cost(&naive) + 1e-12,

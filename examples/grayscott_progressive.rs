@@ -12,12 +12,8 @@ use pmr::mgard::{CompressConfig, Compressed, RetrievalPlan};
 use pmr::sim::{GrayScott, GrayScottConfig};
 
 fn main() {
-    let cfg = GrayScottConfig {
-        size: 24,
-        snapshots: 4,
-        steps_per_snapshot: 40,
-        ..Default::default()
-    };
+    let cfg =
+        GrayScottConfig { size: 24, snapshots: 4, steps_per_snapshot: 40, ..Default::default() };
     println!("running Gray-Scott {}^3, {} snapshots...", cfg.size, cfg.snapshots);
 
     let mut last_v = None;
@@ -29,11 +25,7 @@ fn main() {
 
     let compressed = Compressed::compress(&field, &CompressConfig::default());
     let total = compressed.total_bytes();
-    println!(
-        "\ncompressed D_v snapshot: {} bytes, {} levels\n",
-        total,
-        compressed.num_levels()
-    );
+    println!("\ncompressed D_v snapshot: {} bytes, {} levels\n", total, compressed.num_levels());
 
     // Progressive refinement: fetch k planes from every level, k = 0..B.
     println!("{:>7}  {:>10}  {:>12}  {:>9}", "planes", "bytes", "max_error", "psnr_db");
@@ -43,10 +35,7 @@ fn main() {
         let approx = compressed.retrieve(&plan);
         let err = max_abs_error(field.data(), approx.data());
         let p = psnr(field.data(), approx.data());
-        println!(
-            "{k:>7}  {:>10}  {err:>12.3e}  {p:>9.1}",
-            compressed.retrieved_bytes(&plan)
-        );
+        println!("{k:>7}  {:>10}  {err:>12.3e}  {p:>9.1}", compressed.retrieved_bytes(&plan));
         assert!(err <= prev_err * 1.5 + 1e-12, "refinement should not regress");
         prev_err = err;
     }

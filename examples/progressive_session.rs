@@ -29,15 +29,15 @@ fn main() {
     // Consumer side: reopen and refine progressively.
     let reopened = persist::load(&path).expect("read artifact");
     let mut session = ProgressiveSession::new(&reopened);
-    println!("\n{:>10}  {:>12}  {:>12}  {:>12}", "rel_bound", "delta_bytes", "total_bytes", "max_error");
+    println!(
+        "\n{:>10}  {:>12}  {:>12}  {:>12}",
+        "rel_bound", "delta_bytes", "total_bytes", "max_error"
+    );
     for rel in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5] {
         let delta = session.refine_theory(reopened.absolute_bound(rel));
         let approx = session.current_field();
         let err = max_abs_error(field.data(), approx.data());
-        println!(
-            "{rel:>10.0e}  {delta:>12}  {:>12}  {err:>12.3e}",
-            session.fetched_bytes()
-        );
+        println!("{rel:>10.0e}  {delta:>12}  {:>12}  {err:>12.3e}", session.fetched_bytes());
     }
 
     // Placement: optimise level->tier assignment for a loose-bound-heavy
@@ -52,10 +52,7 @@ fn main() {
     let placement = optimize_placement(&reopened, &profile, &hierarchy, &caps);
     println!("\noptimised placement under a fast-tier capacity of {} bytes:", caps[0]);
     for l in 0..reopened.num_levels() {
-        println!(
-            "  level_{l} -> {}",
-            hierarchy.tiers()[placement.tier_of(l)].name
-        );
+        println!("  level_{l} -> {}", hierarchy.tiers()[placement.tier_of(l)].name);
     }
     let plan = reopened.plan_theory(reopened.absolute_bound(1e-2));
     let cost = retrieval_cost(&reopened, &plan, &hierarchy, &placement);

@@ -25,14 +25,12 @@ fn main() {
             ..Default::default()
         },
         emgard: EMgardConfig { epochs: 80, samples_per_artifact: 16, ..Default::default() },
-        train_bounds: (-8..=-1)
-            .flat_map(|k| [1.0, 2.0, 5.0].map(|m| m * 10f64.powi(k)))
-            .collect(),
+        train_bounds: (-8..=-1).flat_map(|k| [1.0, 2.0, 5.0].map(|m| m * 10f64.powi(k))).collect(),
     };
 
     println!("training on J_x timesteps 0..{} ...", snapshots / 2);
     let train = (0..snapshots / 2).map(|t| warpx_field(&wcfg, WarpXField::Jx, t));
-    let (mut models, records) = train_models(train, &cfg);
+    let (models, records) = train_models(train, &cfg);
     println!("  harvested {} training records", records.len());
 
     println!("\nevaluating on unseen timesteps {}..{}:", snapshots / 2, snapshots);
@@ -42,7 +40,7 @@ fn main() {
     );
     for t in snapshots / 2..snapshots {
         let field = warpx_field(&wcfg, WarpXField::Jx, t);
-        for row in compare_on_field(&field, &mut models, &cfg, &[1e-3, 1e-5]) {
+        for row in compare_on_field(&field, &models, &cfg, &[1e-3, 1e-5]) {
             println!(
                 "{:>4} {:>9.0e} {:>10} {:>10} {:>10} {:>8.1}% {:>8.1}%",
                 row.timestep,

@@ -4,6 +4,7 @@
 //! pmrtool gen warpx <dir> [--size N] [--snapshots T] [--field Bx|Ex|Jx]
 //! pmrtool gen grayscott <dir> [--size N] [--snapshots T] [--species u|v]
 //! pmrtool compress <in.pmrf> <out.pmrc> [--levels L] [--planes B] [--mode interp|l2]
+//!                  [--threads N]
 //! pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x>)
 //! pmrtool info <in.pmrc>
 //! ```
@@ -35,7 +36,7 @@ const USAGE: &str = "usage:
   pmrtool gen warpx <dir> [--size N] [--snapshots T] [--field Bx|Ex|Jx]
   pmrtool gen grayscott <dir> [--size N] [--snapshots T] [--species u|v]
   pmrtool compress <in.pmrf> <out.pmrc> [--levels L] [--planes B] [--mode interp|l2]
-                   [--codec multilevel|block]
+                   [--threads N] [--codec multilevel|block]
   pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x>)
   pmrtool info <in.pmrc>
 
@@ -148,20 +149,24 @@ fn compress(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown codec {other} (multilevel|block)")),
         }
     }
-    let mut cfg = CompressConfig::default();
+    let mut builder = CompressConfig::builder();
     if let Some(v) = flag_value(args, "--levels")? {
-        cfg.levels = parse(v, "--levels")?;
+        builder = builder.levels(parse(v, "--levels")?);
     }
     if let Some(v) = flag_value(args, "--planes")? {
-        cfg.num_planes = parse(v, "--planes")?;
+        builder = builder.num_planes(parse(v, "--planes")?);
     }
     if let Some(v) = flag_value(args, "--mode")? {
-        cfg.mode = match v {
+        builder = builder.mode(match v {
             "interp" => TransformMode::Interpolation,
             "l2" => TransformMode::L2Projection,
             other => return Err(format!("unknown mode {other} (interp|l2)")),
-        };
+        });
     }
+    if let Some(v) = flag_value(args, "--threads")? {
+        builder = builder.threads(parse(v, "--threads")?);
+    }
+    let cfg = builder.build().map_err(|e| e.to_string())?;
     let field = field_io::load(Path::new(input)).map_err(|e| e.to_string())?;
     let compressed = Compressed::compress(&field, &cfg);
     persist::save(&compressed, Path::new(output)).map_err(|e| e.to_string())?;

@@ -22,6 +22,7 @@ pub use pmr_analysis as analysis;
 pub use pmr_blockcodec as blockcodec;
 pub use pmr_codec as codec;
 pub use pmr_core as core;
+pub use pmr_error::{PmrError, Result as PmrResult};
 pub use pmr_field as field;
 pub use pmr_mgard as mgard;
 pub use pmr_nn as nn;

@@ -136,9 +136,6 @@ fn bad_invocations_fail_cleanly() {
     assert!(!out.status.success());
 
     // Missing input file.
-    let out = pmrtool()
-        .args(["info", "/nonexistent/definitely_missing.pmrc"])
-        .output()
-        .unwrap();
+    let out = pmrtool().args(["info", "/nonexistent/definitely_missing.pmrc"]).output().unwrap();
     assert!(!out.status.success());
 }

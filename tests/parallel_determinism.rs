@@ -1,0 +1,97 @@
+//! The parallel data path must be bit-identical to the serial one: same
+//! serialized artifact bytes, same error matrix `Err[l][b]`, same
+//! reconstructed samples — across dimensionalities and above/below the
+//! size gates that demote small inputs to serial execution.
+
+use pmr::field::{Field, Shape};
+use pmr::mgard::{persist, retrieve_many, CompressConfig, Compressed, RetrievalPlan};
+
+fn wavy(shape: Shape) -> Field {
+    Field::from_fn("det", 3, shape, |x, y, z| {
+        ((x as f64) * 0.37).sin() * ((y as f64) * 0.21).cos()
+            + ((z as f64) * 0.11).sin() * 0.25
+            + (x + 2 * y + 3 * z) as f64 * 1e-3
+    })
+}
+
+fn serial_cfg() -> CompressConfig {
+    CompressConfig::builder().threads(1).build().expect("serial config")
+}
+
+fn parallel_cfg() -> CompressConfig {
+    CompressConfig::builder().threads(4).chunk_lines(3).build().expect("parallel config")
+}
+
+/// Serial and parallel compression of the same field must produce
+/// byte-identical artifacts and identical error matrices, and retrieval
+/// from either must reconstruct identical data.
+#[test]
+fn parallel_compression_is_bit_identical() {
+    // 1-D/2-D/3-D, sized above and below the parallel gates (16384 points).
+    let shapes = [
+        Shape::d1(40_000),
+        Shape::d1(500),
+        Shape::d2(210, 190),
+        Shape::d2(21, 17),
+        Shape::cube(36),
+        Shape::cube(9),
+    ];
+    for shape in shapes {
+        let field = wavy(shape);
+        let cs = Compressed::compress(&field, &serial_cfg());
+        let cp = Compressed::compress(&field, &parallel_cfg());
+
+        assert_eq!(
+            persist::to_bytes(&cs),
+            persist::to_bytes(&cp),
+            "artifact bytes differ for {shape}"
+        );
+        for (ls, lp) in cs.levels().iter().zip(cp.levels()) {
+            let es: Vec<u64> = ls.error_row().iter().map(|e| e.to_bits()).collect();
+            let ep: Vec<u64> = lp.error_row().iter().map(|e| e.to_bits()).collect();
+            assert_eq!(es, ep, "error matrix differs for {shape}");
+        }
+
+        for rel in [1e-2, 1e-5] {
+            let abs = cs.absolute_bound(rel);
+            let plan_s = cs.plan_theory(abs);
+            let plan_p = cp.plan_theory(abs);
+            assert_eq!(plan_s.planes, plan_p.planes, "plans differ for {shape}");
+            let rs = cs.retrieve(&plan_s);
+            let rp = cp.retrieve(&plan_p);
+            let bs: Vec<u64> = rs.data().iter().map(|v| v.to_bits()).collect();
+            let bp: Vec<u64> = rp.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bs, bp, "reconstructions differ for {shape} at rel {rel}");
+        }
+    }
+}
+
+/// The batch APIs must agree exactly with per-snapshot calls.
+#[test]
+fn batch_apis_match_individual_calls() {
+    let fields: Vec<Field> = (0..5)
+        .map(|t| {
+            Field::from_fn("batch", t, Shape::cube(11), move |x, y, z| {
+                ((x as f64) * (0.3 + 0.04 * t as f64)).sin() + ((y + z) as f64 * 0.2).cos() * 0.5
+            })
+        })
+        .collect();
+    let cfg = parallel_cfg();
+
+    let batch = Compressed::compress_many(&fields, &cfg);
+    assert_eq!(batch.len(), fields.len());
+    for (f, c) in fields.iter().zip(&batch) {
+        let single = Compressed::compress(f, &cfg);
+        assert_eq!(persist::to_bytes(&single), persist::to_bytes(c));
+    }
+
+    let plans: Vec<RetrievalPlan> =
+        batch.iter().map(|c| c.plan_theory(c.absolute_bound(1e-4))).collect();
+    let items: Vec<(&Compressed, &RetrievalPlan)> = batch.iter().zip(&plans).collect();
+    let many = retrieve_many(&items);
+    for ((c, plan), batched) in items.iter().zip(&many) {
+        let single = c.retrieve(plan);
+        assert_eq!(single.data(), batched.data());
+        assert_eq!(single.name(), batched.name());
+    }
+}

@@ -33,11 +33,11 @@ fn warpx_end_to_end_three_retrievers() {
     let cfg = small_experiment();
 
     let train = (0..3).map(|t| warpx_field(&wcfg, WarpXField::Jx, t));
-    let (mut models, records) = train_models(train, &cfg);
+    let (models, records) = train_models(train, &cfg);
     assert_eq!(records.len(), 3 * cfg.train_bounds.len());
 
     let test = warpx_field(&wcfg, WarpXField::Jx, 4);
-    let rows = compare_on_field(&test, &mut models, &cfg, &[1e-4, 1e-2]);
+    let rows = compare_on_field(&test, &models, &cfg, &[1e-4, 1e-2]);
     for row in rows {
         assert!(row.theory.achieved_err <= row.abs_bound, "theory bound violated");
         assert!(row.emgard.bytes <= row.theory.bytes, "E-MGARD read more than MGARD");
@@ -50,12 +50,8 @@ fn warpx_end_to_end_three_retrievers() {
 
 #[test]
 fn gray_scott_compression_respects_bounds() {
-    let cfg = GrayScottConfig {
-        size: 12,
-        snapshots: 2,
-        steps_per_snapshot: 8,
-        ..Default::default()
-    };
+    let cfg =
+        GrayScottConfig { size: 12, snapshots: 2, steps_per_snapshot: 8, ..Default::default() };
     let mut fields = Vec::new();
     GrayScott::new(cfg).run(|_, u, v| {
         fields.push(u);
@@ -79,12 +75,12 @@ fn model_persistence_survives_pipeline() {
     let wcfg = WarpXConfig { size: 12, snapshots, ..Default::default() };
     let cfg = small_experiment();
     let train = (0..2).map(|t| warpx_field(&wcfg, WarpXField::Ex, t));
-    let (mut models, _) = train_models(train, &cfg);
+    let (models, _) = train_models(train, &cfg);
 
     // Round-trip both models through bytes and verify identical plans.
     let dm = pmr::core::DMgard::from_bytes(&models.dmgard.to_bytes()).expect("dmgard bytes");
     let em = pmr::core::EMgard::from_bytes(&models.emgard.to_bytes()).expect("emgard bytes");
-    let mut models2 = pmr::core::experiment::TrainedModels {
+    let models2 = pmr::core::experiment::TrainedModels {
         dmgard: dm,
         emgard: em,
         num_levels: models.num_levels,
@@ -92,8 +88,8 @@ fn model_persistence_survives_pipeline() {
     };
 
     let test = warpx_field(&wcfg, WarpXField::Ex, 3);
-    let rows1 = compare_on_field(&test, &mut models, &cfg, &[1e-3]);
-    let rows2 = compare_on_field(&test, &mut models2, &cfg, &[1e-3]);
+    let rows1 = compare_on_field(&test, &models, &cfg, &[1e-3]);
+    let rows2 = compare_on_field(&test, &models2, &cfg, &[1e-3]);
     assert_eq!(rows1[0].dmgard.planes, rows2[0].dmgard.planes);
     assert_eq!(rows1[0].emgard.planes, rows2[0].emgard.planes);
 }

@@ -49,10 +49,7 @@ fn coarse_retrieval_supports_cheap_analysis() {
     // Quantile analysis on the coarse view is close to the reference's.
     let q1 = analysis::quantiles(&reference, &[0.5])[0];
     let q2 = analysis::quantiles(&coarse, &[0.5])[0];
-    assert!(
-        (q1 - q2).abs() <= 0.25 * field.value_range(),
-        "median drifted: {q1} vs {q2}"
-    );
+    assert!((q1 - q2).abs() <= 0.25 * field.value_range(), "median drifted: {q1} vs {q2}");
     // And it cost a tiny fraction of the payload.
     assert!(c.retrieved_bytes(&plan) < c.total_bytes() / 20);
 }
@@ -77,6 +74,6 @@ fn artifact_formats_are_mutually_exclusive() {
     let ml_bytes = pmr::mgard::persist::to_bytes(&ml);
     let bc_bytes = pmr::blockcodec::persist::to_bytes(&bc);
     // Cross-parsing must fail cleanly, not alias.
-    assert!(pmr::mgard::persist::from_bytes(&bc_bytes).is_none());
-    assert!(pmr::blockcodec::persist::from_bytes(&ml_bytes).is_none());
+    assert!(pmr::mgard::persist::from_bytes(&bc_bytes).is_err());
+    assert!(pmr::blockcodec::persist::from_bytes(&ml_bytes).is_err());
 }
