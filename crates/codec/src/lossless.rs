@@ -12,6 +12,7 @@
 //! RLE reproduces.
 
 use crate::rle;
+use pmr_error::PmrError;
 
 /// Compression mode chosen for a buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,12 +42,45 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Decompress a buffer produced by [`compress`]. `None` on malformed input.
 pub fn decompress(buf: &[u8]) -> Option<Vec<u8>> {
+    decompress_bounded(buf, usize::MAX)
+}
+
+/// [`decompress`] with an output-size ceiling; see [`rle::decode_bounded`]
+/// for why callers decoding untrusted bytes must cap the expansion.
+pub fn decompress_bounded(buf: &[u8], max_len: usize) -> Option<Vec<u8>> {
     let (&tag, rest) = buf.split_first()?;
     match tag {
-        TAG_RAW => Some(rest.to_vec()),
-        TAG_RLE => rle::decode(rest),
+        TAG_RAW if rest.len() <= max_len => Some(rest.to_vec()),
+        TAG_RAW => None,
+        TAG_RLE => rle::decode_bounded(rest, max_len),
         _ => None,
     }
+}
+
+/// Decompress untrusted bytes, expecting exactly `expected_len` of output.
+///
+/// This is the entry point deserializers use: any structural problem —
+/// unknown tag, truncated token, or a decoded size other than
+/// `expected_len` — comes back as a descriptive [`PmrError::Malformed`]
+/// instead of a bare `None`, and the expansion is capped so garbage can
+/// never allocate more than the caller budgeted for.
+pub fn try_decompress(buf: &[u8], expected_len: usize) -> Result<Vec<u8>, PmrError> {
+    let out = decompress_bounded(buf, expected_len).ok_or_else(|| {
+        PmrError::malformed(
+            "lossless plane",
+            format!(
+                "{}-byte payload is not a valid stream of <= {expected_len} decoded bytes",
+                buf.len()
+            ),
+        )
+    })?;
+    if out.len() != expected_len {
+        return Err(PmrError::malformed(
+            "lossless plane",
+            format!("decoded {} bytes, expected {expected_len}", out.len()),
+        ));
+    }
+    Ok(out)
 }
 
 /// Which mode a compressed buffer used (for diagnostics).
@@ -92,5 +126,23 @@ mod tests {
     fn bad_tag_rejected() {
         assert!(decompress(&[0x7F, 1, 2, 3]).is_none());
         assert!(decompress(&[]).is_none());
+    }
+
+    #[test]
+    fn bounded_raw_respects_cap() {
+        let c = compress(&[1, 2, 3, 4]);
+        assert_eq!(mode_of(&c), Some(Lossless::Raw));
+        assert_eq!(decompress_bounded(&c, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert!(decompress_bounded(&c, 3).is_none());
+    }
+
+    #[test]
+    fn try_decompress_reports_size_mismatch() {
+        let c = compress(&[0u8; 64]);
+        assert_eq!(try_decompress(&c, 64).unwrap().len(), 64);
+        let err = try_decompress(&c, 63).unwrap_err();
+        assert!(err.to_string().contains("malformed lossless plane"), "{err}");
+        let err = try_decompress(&[0xFF, 0, 0], 2).unwrap_err();
+        assert!(err.to_string().contains("malformed"), "{err}");
     }
 }

@@ -49,21 +49,33 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 
 /// Decode a buffer produced by [`encode`]. Returns `None` on malformed input.
 pub fn decode(encoded: &[u8]) -> Option<Vec<u8>> {
-    let mut out = Vec::with_capacity(encoded.len() * 2);
+    decode_bounded(encoded, usize::MAX)
+}
+
+/// [`decode`] with an output-size ceiling.
+///
+/// Repeat tokens expand two encoded bytes into up to 130 decoded bytes, so a
+/// few KB of attacker-controlled input can demand hundreds of KB — and a
+/// forged length field upstream can turn that into an allocation bomb.
+/// Deserializers that feed untrusted bytes through this codec must pass the
+/// exact size they expect; decoding stops with `None` the moment the output
+/// would exceed `max_len`.
+pub fn decode_bounded(encoded: &[u8], max_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity((encoded.len() * 2).min(max_len));
     let mut i = 0;
     while i < encoded.len() {
         let c = encoded[i];
         i += 1;
         if c < 0x80 {
             let n = c as usize + 1;
-            if i + n > encoded.len() {
+            if i + n > encoded.len() || out.len() + n > max_len {
                 return None;
             }
             out.extend_from_slice(&encoded[i..i + n]);
             i += n;
         } else {
             let n = (c - 0x80) as usize + 3;
-            if i >= encoded.len() {
+            if i >= encoded.len() || out.len() + n > max_len {
                 return None;
             }
             let b = encoded[i];
@@ -117,6 +129,16 @@ mod tests {
         assert!(decode(&enc[..enc.len() - 1]).is_none());
         assert!(decode(&[0x85]).is_none()); // repeat token missing payload
         assert!(decode(&[0x05, 1, 2]).is_none()); // literal run missing bytes
+    }
+
+    #[test]
+    fn bounded_decode_caps_expansion() {
+        let data = vec![42u8; 10_000];
+        let enc = encode(&data);
+        assert_eq!(decode_bounded(&enc, 10_000).unwrap(), data);
+        assert!(decode_bounded(&enc, 9_999).is_none());
+        assert!(decode_bounded(&enc, 0).is_none());
+        assert_eq!(decode_bounded(&[], 0), Some(vec![]));
     }
 
     #[test]

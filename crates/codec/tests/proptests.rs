@@ -69,4 +69,72 @@ proptest! {
             prop_assert_eq!(r.next_bit(), Some(b));
         }
     }
+
+    // --- decoders-never-panic: arbitrary bytes must come back as a clean
+    // rejection (None / Err), never a panic or an unbounded allocation. ---
+
+    #[test]
+    fn rle_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Worst-case legal expansion is 130 decoded bytes per 2 encoded.
+        if let Some(out) = rle::decode(&data) {
+            prop_assert!(out.len() <= data.len().div_ceil(2) * 130);
+        }
+    }
+
+    #[test]
+    fn rle_decode_bounded_never_exceeds_cap(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cap in 0usize..4096,
+    ) {
+        if let Some(out) = rle::decode_bounded(&data, cap) {
+            prop_assert!(out.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn lossless_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = lossless::decompress_bounded(&data, 1 << 16);
+        let _ = lossless::mode_of(&data);
+    }
+
+    #[test]
+    fn lossless_try_decompress_err_or_exact(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        expected in 0usize..2048,
+    ) {
+        match lossless::try_decompress(&data, expected) {
+            Ok(out) => prop_assert_eq!(out.len(), expected),
+            Err(e) => prop_assert!(e.to_string().contains("malformed")),
+        }
+    }
+
+    #[test]
+    fn rle_truncation_rejected_cleanly(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let enc = rle::encode(&data);
+        // Every strict prefix either decodes to a (different) valid stream or
+        // is rejected with None; the reader never walks off the buffer.
+        for cut in 0..enc.len() {
+            let _ = rle::decode(&enc[..cut]);
+        }
+    }
+
+    #[test]
+    fn bitreader_never_reads_past_end(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = bitstream::BitReader::new(&data);
+        let mut n = 0usize;
+        while r.next_bit().is_some() {
+            n += 1;
+        }
+        prop_assert_eq!(n, data.len() * 8);
+        prop_assert_eq!(r.next_bit(), None);
+    }
+
+    #[test]
+    fn negabinary_total_on_arbitrary_patterns(nb in any::<u64>(), drop in 0u32..128) {
+        // from_negabinary and truncate accept any 64-bit pattern.
+        let v = negabinary::from_negabinary(nb);
+        let t = negabinary::truncate_low_digits(nb, drop);
+        prop_assert_eq!(negabinary::truncate_low_digits(t, drop), t);
+        let _ = v;
+    }
 }

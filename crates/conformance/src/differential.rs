@@ -1,0 +1,163 @@
+//! Differential checks: two paths that must agree, and invariants that
+//! must hold as a knob turns.
+//!
+//! * **Serial vs parallel bit-identity** — compressing and retrieving with
+//!   one thread must produce byte-identical artifacts and bit-identical
+//!   reconstructions to the multi-threaded path. The parallel data path is
+//!   pure work-partitioning; any divergence is a race or a
+//!   nondeterministic reduction.
+//! * **Batch vs per-item equivalence** — `compress_many`/`retrieve_many`
+//!   must match looping the single-item APIs.
+//! * **Monotonicity** — under the theory planner, a tighter bound never
+//!   fetches fewer bytes (exact: the greedy pick sequence is
+//!   bound-independent, the bound only moves the stopping point), and more
+//!   bit-planes never increase the reconstruction error *in stride-4
+//!   aggregate* (per-plane max error can wiggle locally: negabinary
+//!   truncation error is not pointwise monotone — value 6 = `11010₂̄`
+//!   has err 6 after 0 planes but 10 after 1).
+
+use crate::fields::{catalogue, FieldClass};
+use crate::sweep::{SWEEP_LEVELS, SWEEP_PLANES};
+use pmr_field::Field;
+use pmr_mgard::{persist, CompressConfig, Compressed, ExecPolicy, RetrievalPlan};
+
+fn compress_cfg(threads: usize) -> CompressConfig {
+    CompressConfig {
+        levels: SWEEP_LEVELS,
+        num_planes: SWEEP_PLANES,
+        threads,
+        ..CompressConfig::default()
+    }
+}
+
+fn bits(field: &Field) -> Vec<u64> {
+    field.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The differential corpus: every finite synthetic class (the NaN-laced
+/// class is covered by the robustness checks in [`crate::sweep`]).
+fn finite_corpus(seed: u64) -> Vec<Field> {
+    catalogue(seed)
+        .into_iter()
+        .filter(|(class, _)| class.is_finite() && *class != FieldClass::Constant)
+        .map(|(_, f)| f)
+        .collect()
+}
+
+/// Serial and parallel execution must be bit-identical end to end.
+pub fn check_serial_parallel_identity(seed: u64, failures: &mut Vec<String>) {
+    for field in finite_corpus(seed) {
+        let serial = Compressed::compress_with(&field, &compress_cfg(1), &ExecPolicy::serial());
+        let parallel =
+            Compressed::compress_with(&field, &compress_cfg(4), &ExecPolicy::with_threads(4));
+        let serial_bytes = persist::to_bytes(&serial);
+        let parallel_bytes = persist::to_bytes(&parallel);
+        if serial_bytes != parallel_bytes {
+            failures.push(format!(
+                "differential: {} serial vs parallel compression artifacts differ",
+                field.name()
+            ));
+            continue;
+        }
+        for rel in [1e-2, 1e-4] {
+            let plan = serial.plan_theory(serial.absolute_bound(rel));
+            let a = serial.retrieve_with(&plan, &ExecPolicy::serial());
+            let b = parallel.retrieve_with(&plan, &ExecPolicy::with_threads(4));
+            if bits(&a) != bits(&b) {
+                failures.push(format!(
+                    "differential: {} serial vs parallel retrieval differs at rel {rel}",
+                    field.name()
+                ));
+            }
+        }
+    }
+}
+
+/// `compress_many` / `retrieve_many` must equal per-item loops.
+pub fn check_batch_equivalence(seed: u64, failures: &mut Vec<String>) {
+    let fields = finite_corpus(seed);
+    let cfg = compress_cfg(0);
+    let batch = Compressed::compress_many(&fields, &cfg);
+    let single: Vec<Compressed> = fields.iter().map(|f| Compressed::compress(f, &cfg)).collect();
+    for (f, (b, s)) in fields.iter().zip(batch.iter().zip(&single)) {
+        if persist::to_bytes(b) != persist::to_bytes(s) {
+            failures.push(format!(
+                "differential: {} compress_many differs from per-item compress",
+                f.name()
+            ));
+        }
+    }
+
+    let plans: Vec<RetrievalPlan> =
+        single.iter().map(|c| c.plan_theory(c.absolute_bound(1e-3))).collect();
+    let items: Vec<(&Compressed, &RetrievalPlan)> = single.iter().zip(&plans).collect();
+    let batch_out = pmr_mgard::retrieve_many(&items);
+    for (f, ((c, plan), out)) in fields.iter().zip(items.iter().zip(&batch_out)) {
+        let one = c.retrieve(plan);
+        if bits(&one) != bits(out) {
+            failures.push(format!(
+                "differential: {} retrieve_many differs from per-item retrieve",
+                f.name()
+            ));
+        }
+    }
+}
+
+/// Monotonicity invariants under the theory planner.
+pub fn check_monotonicity(seed: u64, failures: &mut Vec<String>) {
+    for field in finite_corpus(seed) {
+        let c = Compressed::compress(&field, &compress_cfg(0));
+
+        // Bytes are non-decreasing as the bound tightens — exact.
+        let rels = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6];
+        let mut last_bytes = 0u64;
+        for rel in rels {
+            let plan = c.plan_theory(c.absolute_bound(rel));
+            let bytes = c.retrieved_bytes(&plan);
+            if bytes < last_bytes {
+                failures.push(format!(
+                    "differential: {} bytes decreased when tightening to rel {rel}",
+                    field.name()
+                ));
+            }
+            last_bytes = bytes;
+        }
+
+        // More planes → error non-increasing, checked at stride 4 with a
+        // small slack for the local negabinary wiggle.
+        let mut last_err = f64::INFINITY;
+        for planes in (0..=SWEEP_PLANES).step_by(4) {
+            let plan = RetrievalPlan::from_planes(vec![planes; c.num_levels()]);
+            let m = c.retrieve_measured(&plan, &field).expect("uniform plan");
+            if m.achieved_error > last_err * 1.05 + 1e-12 {
+                failures.push(format!(
+                    "differential: {} error rose from {last_err:.3e} to {:.3e} at {planes} planes",
+                    field.name(),
+                    m.achieved_error
+                ));
+            }
+            last_err = m.achieved_error;
+        }
+    }
+}
+
+/// Run every differential check over the seeded corpus; returns the list
+/// of failures (empty = pass).
+pub fn run_differential(seed: u64) -> Vec<String> {
+    let mut failures = Vec::new();
+    check_serial_parallel_identity(seed, &mut failures);
+    check_batch_equivalence(seed, &mut failures);
+    check_monotonicity(seed, &mut failures);
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_checks_pass_on_seeded_corpus() {
+        let failures = run_differential(11);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

@@ -135,12 +135,12 @@ pub fn execute(
     compressed: &Compressed,
     plan: &RetrievalPlan,
 ) -> RetrievalOutcome {
-    let rec = compressed.retrieve(plan);
+    let m = compressed.retrieve_measured(plan, original).unwrap_or_else(|e| panic!("execute: {e}"));
     RetrievalOutcome {
         planes: plan.planes.clone(),
-        bytes: compressed.retrieved_bytes(plan),
-        achieved_err: error::max_abs_error(original.data(), rec.data()),
-        psnr: error::psnr(original.data(), rec.data()),
+        bytes: m.bytes,
+        achieved_err: m.achieved_error,
+        psnr: error::psnr(original.data(), m.field.data()),
     }
 }
 

@@ -22,6 +22,7 @@ pub mod experiment;
 pub mod features;
 pub mod framework;
 pub mod records;
+pub mod sweep;
 
 pub use dmgard::{DMgard, DMgardConfig};
 pub use emgard::{build_samples_many, EMgard, EMgardConfig};
@@ -29,3 +30,4 @@ pub use framework::{
     AnyRetriever, Combined, RetrievalContext, RetrievalOutcome, Retriever, Theory,
 };
 pub use records::{collect_records, collect_records_many, standard_rel_bounds, RetrievalRecord};
+pub use sweep::{sweep, sweep_strategy, SweepPoint};

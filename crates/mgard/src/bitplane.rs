@@ -48,6 +48,26 @@ impl LevelEncoding {
         if max_abs == 0.0 || !max_abs.is_finite() {
             // Degenerate level: everything quantizes to zero. Planes are
             // all-zero bitstreams (nearly free after RLE).
+            //
+            // This branch is half of the crate's non-finite policy. The
+            // fold above uses `f64::max`, which *ignores NaN*, so:
+            //
+            // * a level containing ±inf has `max_abs = inf` and lands here:
+            //   no finite step covers it, the whole level collapses to
+            //   zeros with `step = 0` and a zero error row;
+            // * a NaN coefficient among otherwise finite values does NOT
+            //   land here — it falls through to quantization, where
+            //   `(NaN / step).round() as i64` saturates to 0, so that one
+            //   site decodes as exactly 0.0 and its (NaN) truncation error
+            //   is excluded from the collected error row (`NaN > x` is
+            //   false, so the max-fold below never records it).
+            //
+            // Either way the artifact stays structurally valid and no
+            // non-finite value ever reaches the error matrix or the greedy
+            // planner; achieved-error guarantees apply to the finite sites
+            // only. Callers that must preserve non-finite payloads mask
+            // them out before compression; the conformance harness pins
+            // this contract with NaN/inf-laced fields.
             let empty_plane = {
                 let mut w = BitWriter::with_capacity(coeffs.len());
                 for _ in 0..coeffs.len() {
@@ -285,10 +305,12 @@ impl LevelEncoding {
         }
         // Every plane payload must decompress to exactly one bit per
         // coefficient, so a corrupted artifact fails loudly at load time
-        // instead of panicking inside `decode`.
+        // instead of panicking inside `decode`. The bounded form caps the
+        // allocation at the expected plane size, so forged repeat tokens
+        // cannot balloon past the declared coefficient count either.
         let expected = count.div_ceil(8);
         for p in &planes {
-            match lossless::decompress(p) {
+            match lossless::decompress_bounded(p, expected) {
                 Some(bytes) if bytes.len() == expected => {}
                 _ => return None,
             }

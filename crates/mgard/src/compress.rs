@@ -167,6 +167,30 @@ pub struct Compressed {
     exec: ExecPolicy,
 }
 
+/// `max - min` over the *finite* values of `field` (0 when none are).
+///
+/// `Field::value_range` is NaN/inf for NaN- or inf-laced inputs, and a
+/// non-finite range would make the persisted artifact unloadable —
+/// `Compressed::from_parts` rejects it. Non-finite sites already decode to
+/// 0.0 (see `bitplane`), so scoping the recorded range to the finite values
+/// keeps bound conversion meaningful for exactly the sites the error
+/// guarantees cover. Finite fields are unaffected.
+fn finite_value_range(field: &Field) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in field.data() {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if hi >= lo {
+        hi - lo
+    } else {
+        0.0
+    }
+}
+
 impl Compressed {
     /// Rebuild from persisted parts (see [`crate::persist`]).
     pub(crate) fn from_parts(
@@ -231,7 +255,7 @@ impl Compressed {
             decomposer,
             levels,
             constants,
-            value_range: field.value_range(),
+            value_range: finite_value_range(field),
             exec: *exec,
         }
     }
@@ -375,6 +399,43 @@ impl Compressed {
         Field::new(self.name.clone(), self.timestep, self.decomposer.shape(), data)
     }
 
+    /// Execute `plan` with full error accounting against `original`.
+    ///
+    /// This is the measurement surface conformance tooling builds on: it
+    /// returns the reconstruction together with the bytes fetched, the
+    /// plan's own error claim, and the *measured* `L∞` error — so a bound
+    /// check compares ground truth, not the estimator, against the request.
+    /// Unlike [`Compressed::retrieve`], shape or plan mismatches come back
+    /// as [`PmrError::InvalidConfig`] instead of a panic.
+    pub fn retrieve_measured(
+        &self,
+        plan: &RetrievalPlan,
+        original: &Field,
+    ) -> Result<MeasuredRetrieval, PmrError> {
+        if plan.planes.len() != self.levels.len() {
+            return Err(PmrError::invalid_config(format!(
+                "plan covers {} levels but the artifact has {}",
+                plan.planes.len(),
+                self.levels.len()
+            )));
+        }
+        if original.shape() != self.shape() {
+            return Err(PmrError::invalid_config(format!(
+                "original field shape {:?} does not match artifact shape {:?}",
+                original.shape(),
+                self.shape()
+            )));
+        }
+        let field = self.retrieve(plan);
+        let achieved_error = pmr_field::error::max_abs_error(original.data(), field.data());
+        Ok(MeasuredRetrieval {
+            bytes: self.retrieved_bytes(plan),
+            estimated_error: plan.estimated_error,
+            achieved_error,
+            field,
+        })
+    }
+
     /// Retrieve a *coarse-resolution* approximation: recompose only up to
     /// the grid of `target_level` (`0` = coarsest). Levels finer than the
     /// target contribute nothing, so a matching plan should fetch zero
@@ -406,6 +467,21 @@ impl Compressed {
             coarse,
         )
     }
+}
+
+/// A retrieval executed with full error accounting (see
+/// [`Compressed::retrieve_measured`]).
+#[derive(Debug, Clone)]
+pub struct MeasuredRetrieval {
+    /// The reconstructed approximation.
+    pub field: Field,
+    /// Bytes fetched under the plan.
+    pub bytes: u64,
+    /// The plan's own error claim (`f64::INFINITY` when the strategy that
+    /// produced the plan carries no estimator, e.g. a pure DNN prediction).
+    pub estimated_error: f64,
+    /// Measured `L∞` error of the reconstruction against the original.
+    pub achieved_error: f64,
 }
 
 /// Execute a batch of retrievals, fanning out across worker threads — one
@@ -692,6 +768,44 @@ mod tests {
             assert_eq!(crate::persist::to_bytes(c), crate::persist::to_bytes(&one));
             assert_eq!(c.timestep(), f.timestep());
         }
+    }
+
+    #[test]
+    fn retrieve_measured_reports_ground_truth() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let plan = c.plan_theory(1e-3);
+        let m = c.retrieve_measured(&plan, &field).expect("matching plan and field");
+        assert!(m.achieved_error <= 1e-3, "achieved {}", m.achieved_error);
+        assert!(m.achieved_error <= m.estimated_error);
+        assert_eq!(m.bytes, c.retrieved_bytes(&plan));
+        assert_eq!(m.field.data(), c.retrieve(&plan).data());
+
+        // Mismatched shape and plan length are clean errors, not panics.
+        let other = wave_field(9);
+        assert!(c.retrieve_measured(&plan, &other).is_err());
+        let bad = RetrievalPlan::from_planes(vec![1; c.num_levels() + 1]);
+        assert!(c.retrieve_measured(&bad, &field).is_err());
+    }
+
+    #[test]
+    fn non_finite_input_still_roundtrips_through_persistence() {
+        // A NaN/inf-laced field must produce an artifact whose recorded
+        // value range is finite, or persist::from_bytes rejects it
+        // (found by the conformance robustness sweep).
+        let mut field = wave_field(9);
+        let n = field.len();
+        field.data_mut()[0] = f64::NAN;
+        field.data_mut()[n / 2] = f64::INFINITY;
+        field.data_mut()[n - 1] = f64::NEG_INFINITY;
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        assert!(c.value_range().is_finite());
+        let bytes = crate::persist::to_bytes(&c);
+        let back = crate::persist::from_bytes(&bytes).expect("non-finite input roundtrips");
+        assert_eq!(crate::persist::to_bytes(&back), bytes);
+        // The reconstruction stays finite everywhere.
+        let full = back.retrieve(&back.plan_full());
+        assert!(full.data().iter().all(|v| v.is_finite()));
     }
 
     #[test]

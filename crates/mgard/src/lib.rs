@@ -38,7 +38,9 @@ pub mod session;
 pub mod transform;
 
 pub use bitplane::{LevelEncoding, DEFAULT_BITPLANES};
-pub use compress::{retrieve_many, CompressConfig, CompressConfigBuilder, Compressed};
+pub use compress::{
+    retrieve_many, CompressConfig, CompressConfigBuilder, Compressed, MeasuredRetrieval,
+};
 pub use decompose::{Decomposer, TransformMode};
 pub use estimate::theory_constants;
 pub use exec::ExecPolicy;

@@ -154,6 +154,136 @@ proptest! {
         prop_assert_eq!(par_row, serial_row);
     }
 
+    // --- float edge cases through the negabinary bit-plane path. The NaN
+    // policy (documented in `bitplane::LevelEncoding::encode`): any level
+    // containing a non-finite value collapses to a zero level. ---
+
+    #[test]
+    fn bitplane_roundtrips_signed_zero_and_subnormals(
+        base in proptest::collection::vec(-1e3f64..1e3, 1..64),
+        planes in 4u32..34,
+        edge_idx in 0usize..64,
+    ) {
+        let mut coeffs = base;
+        let n = coeffs.len();
+        let edges = [0.0, -0.0, f64::MIN_POSITIVE, -f64::MIN_POSITIVE, 5e-324, -5e-324];
+        coeffs[edge_idx % n] = edges[edge_idx % edges.len()];
+        let enc = LevelEncoding::encode(&coeffs, planes);
+        let dec = enc.decode(planes);
+        let actual = coeffs.iter().zip(&dec).map(|(a, d)| (a - d).abs()).fold(0.0f64, f64::max);
+        prop_assert!((actual - enc.error_at(planes)).abs() <= 1e-9 * (1.0 + actual));
+        prop_assert!(dec.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bitplane_inf_policy_zeroes_the_level(
+        base in proptest::collection::vec(-1e3f64..1e3, 1..64),
+        planes in 4u32..34,
+        edge_idx in 0usize..64,
+        negative in any::<bool>(),
+    ) {
+        let mut coeffs = base;
+        let n = coeffs.len();
+        coeffs[edge_idx % n] = if negative { f64::NEG_INFINITY } else { f64::INFINITY };
+        let enc = LevelEncoding::encode(&coeffs, planes);
+        // Infinite max magnitude -> degenerate level: decodes to zeros at
+        // every plane count, with a zero error row.
+        for b in [0, planes / 2, planes] {
+            prop_assert!(enc.decode(b).iter().all(|&v| v == 0.0));
+            prop_assert_eq!(enc.error_at(b), 0.0);
+        }
+        let bytes = enc.to_bytes();
+        let (back, used) = LevelEncoding::from_bytes(&bytes).expect("degenerate level persists");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(back.decode(planes).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bitplane_nan_site_decodes_to_zero(
+        base in proptest::collection::vec(1.0f64..1e3, 2..64),
+        planes in 4u32..34,
+        edge_idx in 0usize..64,
+    ) {
+        // NaN among finite values: that site quantizes to 0, decodes to
+        // exactly 0.0, and never poisons the error row.
+        let mut coeffs = base;
+        let n = coeffs.len();
+        let idx = edge_idx % n;
+        coeffs[idx] = f64::NAN;
+        let enc = LevelEncoding::encode(&coeffs, planes);
+        let dec = enc.decode(planes);
+        prop_assert_eq!(dec[idx], 0.0);
+        prop_assert!(dec.iter().all(|v| v.is_finite()));
+        prop_assert!(enc.error_row().iter().all(|e| e.is_finite()));
+        // The artifact persists and round-trips despite the NaN input.
+        let bytes = enc.to_bytes();
+        let (back, used) = LevelEncoding::from_bytes(&bytes).expect("NaN-laced level persists");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bitplane_handles_huge_magnitudes(
+        scale_exp in 200i32..308,
+        planes in 4u32..34,
+        seed in any::<u64>(),
+    ) {
+        // f64::MAX-adjacent magnitudes must not overflow the fixed-point
+        // quantizer into non-finite reconstructions.
+        let scale = 10f64.powi(scale_exp);
+        let coeffs: Vec<f64> = (0..48)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9E3779B97F4A7C15);
+                ((h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * scale
+            })
+            .collect();
+        let enc = LevelEncoding::encode(&coeffs, planes);
+        let dec = enc.decode(planes);
+        prop_assert!(dec.iter().all(|v| v.is_finite()));
+        let max_abs = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+        let quant = max_abs / (1u64 << (planes - 2)) as f64;
+        let actual = coeffs.iter().zip(&dec).map(|(a, d)| (a - d).abs()).fold(0.0f64, f64::max);
+        prop_assert!(actual <= quant * 1.5, "actual={actual} quant={quant}");
+    }
+
+    // --- deserializers never panic: arbitrary and corrupted bytes must be
+    // rejected with an error, not unwind or over-allocate. ---
+
+    #[test]
+    fn persist_from_bytes_never_panics_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = pmr_mgard::persist::from_bytes(&data);
+        let _ = LevelEncoding::from_bytes(&data);
+    }
+
+    #[test]
+    fn persist_from_bytes_never_panics_on_mutations(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..16),
+    ) {
+        // Mutate a genuine artifact: every result is either a clean parse
+        // (payload bytes are not checksummed) or a structured error.
+        let field = Field::from_fn("m", 0, Shape::cube(5), |x, y, z| {
+            let h = ((x + 31 * y + 997 * z) as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        });
+        let c = Compressed::compress(&field, &CompressConfig { levels: 3, ..Default::default() });
+        let mut bytes = pmr_mgard::persist::to_bytes(&c);
+        for (pos, val) in flips {
+            let n = bytes.len();
+            bytes[pos % n] ^= val;
+        }
+        if let Ok(back) = pmr_mgard::persist::from_bytes(&bytes) {
+            // Whatever parsed must still be structurally usable.
+            let plan = back.plan_full();
+            let rec = back.retrieve(&plan);
+            prop_assert_eq!(rec.data().len(), back.shape().len());
+        }
+    }
+
     #[test]
     fn greedy_plan_monotone_in_bound(seed in any::<u64>()) {
         let shape = Shape::cube(7);

@@ -7,6 +7,7 @@
 //! tiers with latency + bandwidth, maps levels to tiers, and accounts for
 //! the retrieval time of a [`RetrievalPlan`].
 
+use pmr_error::PmrError;
 use pmr_mgard::{Compressed, RetrievalPlan};
 use serde::{Deserialize, Serialize};
 
@@ -22,8 +23,29 @@ pub struct StorageTier {
 
 impl StorageTier {
     pub fn new(name: impl Into<String>, latency_s: f64, bandwidth_bps: f64) -> Self {
-        assert!(latency_s >= 0.0 && bandwidth_bps > 0.0, "invalid tier parameters");
-        StorageTier { name: name.into(), latency_s, bandwidth_bps }
+        Self::try_new(name, latency_s, bandwidth_bps).expect("invalid tier parameters")
+    }
+
+    /// Fallible form of [`StorageTier::new`]: parameters deserialized from
+    /// untrusted configuration come back as [`PmrError::InvalidConfig`]
+    /// instead of a panic.
+    pub fn try_new(
+        name: impl Into<String>,
+        latency_s: f64,
+        bandwidth_bps: f64,
+    ) -> Result<Self, PmrError> {
+        let name = name.into();
+        if !latency_s.is_finite() || latency_s < 0.0 {
+            return Err(PmrError::invalid_config(format!(
+                "tier {name:?}: latency must be finite and >= 0, got {latency_s}"
+            )));
+        }
+        if !bandwidth_bps.is_finite() || bandwidth_bps <= 0.0 {
+            return Err(PmrError::invalid_config(format!(
+                "tier {name:?}: bandwidth must be finite and > 0, got {bandwidth_bps}"
+            )));
+        }
+        Ok(StorageTier { name, latency_s, bandwidth_bps })
     }
 }
 
@@ -35,8 +57,15 @@ pub struct StorageHierarchy {
 
 impl StorageHierarchy {
     pub fn new(tiers: Vec<StorageTier>) -> Self {
-        assert!(!tiers.is_empty(), "hierarchy needs at least one tier");
-        StorageHierarchy { tiers }
+        Self::try_new(tiers).expect("hierarchy needs at least one tier")
+    }
+
+    /// Fallible form of [`StorageHierarchy::new`].
+    pub fn try_new(tiers: Vec<StorageTier>) -> Result<Self, PmrError> {
+        if tiers.is_empty() {
+            return Err(PmrError::invalid_config("hierarchy needs at least one tier"));
+        }
+        Ok(StorageHierarchy { tiers })
     }
 
     /// A Summit-inspired four-tier hierarchy: node-local NVMe burst buffer,
@@ -73,8 +102,22 @@ pub struct Placement {
 impl Placement {
     /// Explicit placement; every tier index must exist in `hierarchy`.
     pub fn new(level_to_tier: Vec<usize>, hierarchy: &StorageHierarchy) -> Self {
-        assert!(level_to_tier.iter().all(|&t| t < hierarchy.len()), "tier index out of range");
-        Placement { level_to_tier }
+        Self::try_new(level_to_tier, hierarchy).expect("tier index out of range")
+    }
+
+    /// Fallible form of [`Placement::new`]: placements read from untrusted
+    /// bytes are validated against the hierarchy instead of panicking.
+    pub fn try_new(
+        level_to_tier: Vec<usize>,
+        hierarchy: &StorageHierarchy,
+    ) -> Result<Self, PmrError> {
+        if let Some(&bad) = level_to_tier.iter().find(|&&t| t >= hierarchy.len()) {
+            return Err(PmrError::invalid_config(format!(
+                "tier index out of range: level maps to tier {bad} but the hierarchy has {}",
+                hierarchy.len()
+            )));
+        }
+        Ok(Placement { level_to_tier })
     }
 
     /// The canonical placement of the paper: coarse (small, hot) levels on
@@ -143,7 +186,26 @@ pub fn optimize_placement(
     hierarchy: &StorageHierarchy,
     capacities: &[u64],
 ) -> Placement {
-    assert_eq!(capacities.len(), hierarchy.len(), "one capacity per tier");
+    try_optimize_placement(compressed, profile, hierarchy, capacities)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`optimize_placement`]: an infeasible capacity vector
+/// (or one of the wrong length) is an [`PmrError::InvalidConfig`], not a
+/// panic.
+pub fn try_optimize_placement(
+    compressed: &Compressed,
+    profile: &AccessProfile,
+    hierarchy: &StorageHierarchy,
+    capacities: &[u64],
+) -> Result<Placement, PmrError> {
+    if capacities.len() != hierarchy.len() {
+        return Err(PmrError::invalid_config(format!(
+            "one capacity per tier: got {} capacities for {} tiers",
+            capacities.len(),
+            hierarchy.len()
+        )));
+    }
     let heat = profile.expected_level_bytes(compressed);
     let sizes: Vec<u64> = compressed.levels().iter().map(|l| l.total_size()).collect();
     let mut order: Vec<usize> = (0..heat.len()).collect();
@@ -152,13 +214,16 @@ pub fn optimize_placement(
     let mut remaining = capacities.to_vec();
     let mut level_to_tier = vec![usize::MAX; heat.len()];
     for l in order {
-        let tier = (0..hierarchy.len())
-            .find(|&t| remaining[t] >= sizes[l])
-            .unwrap_or_else(|| panic!("no tier has capacity for level {l} ({} bytes)", sizes[l]));
+        let tier = (0..hierarchy.len()).find(|&t| remaining[t] >= sizes[l]).ok_or_else(|| {
+            PmrError::invalid_config(format!(
+                "no tier has capacity for level {l} ({} bytes)",
+                sizes[l]
+            ))
+        })?;
         remaining[tier] -= sizes[l];
         level_to_tier[l] = tier;
     }
-    Placement::new(level_to_tier, hierarchy)
+    Placement::try_new(level_to_tier, hierarchy)
 }
 
 /// Accounted cost of one retrieval.
@@ -288,6 +353,30 @@ mod tests {
     fn bad_placement_rejected() {
         let h = StorageHierarchy::summit_like();
         let _ = Placement::new(vec![0, 9], &h);
+    }
+
+    #[test]
+    fn try_constructors_reject_bad_parameters() {
+        assert!(StorageTier::try_new("t", -1.0, 1e9).is_err());
+        assert!(StorageTier::try_new("t", f64::NAN, 1e9).is_err());
+        assert!(StorageTier::try_new("t", 0.0, 0.0).is_err());
+        assert!(StorageTier::try_new("t", 0.0, f64::INFINITY).is_err());
+        assert!(StorageTier::try_new("t", 1e-3, 1e9).is_ok());
+        assert!(StorageHierarchy::try_new(vec![]).is_err());
+        let h = StorageHierarchy::summit_like();
+        assert!(Placement::try_new(vec![0, 3], &h).is_ok());
+        assert!(Placement::try_new(vec![4], &h).is_err());
+    }
+
+    #[test]
+    fn try_optimize_reports_infeasibility() {
+        let c = sample_compressed();
+        let h = StorageHierarchy::summit_like();
+        let profile = AccessProfile::from_bounds(&c, &[c.absolute_bound(1e-4)]);
+        let err = try_optimize_placement(&c, &profile, &h, &[0u64; 4]).unwrap_err();
+        assert!(err.to_string().contains("no tier has capacity"), "{err}");
+        let err = try_optimize_placement(&c, &profile, &h, &[u64::MAX]).unwrap_err();
+        assert!(err.to_string().contains("capacity per tier"), "{err}");
     }
 
     #[test]

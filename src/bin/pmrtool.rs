@@ -7,12 +7,15 @@
 //!                  [--threads N]
 //! pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x>)
 //! pmrtool info <in.pmrc>
+//! pmrtool conformance [--grid quick|full] [--seed N] [--golden <dir>]
+//!                     [--regen-golden] [--golden-only] [--report <path>]
 //! ```
 //!
 //! Field files use the `pmr-field` binary format (`.pmrf`); artifacts the
 //! `pmr-mgard` persistence format (`.pmrc`).
 
 use pmr::blockcodec::{persist as block_persist, BlockCompressed, BlockConfig};
+use pmr::conformance::{self, SweepConfig};
 use pmr::field::io as field_io;
 use pmr::mgard::{persist, CompressConfig, Compressed, TransformMode};
 use pmr::sim::{warpx_field, GrayScott, GrayScottConfig, GsSpecies, WarpXConfig, WarpXField};
@@ -39,6 +42,8 @@ const USAGE: &str = "usage:
                    [--threads N] [--codec multilevel|block]
   pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x>)
   pmrtool info <in.pmrc>
+  pmrtool conformance [--grid quick|full] [--seed N] [--golden <dir>]
+                      [--regen-golden] [--golden-only] [--report <path>]
 
 artifact files are self-describing: retrieve/info dispatch on the magic
 (multilevel .pmrc vs block-codec .pmrb).";
@@ -49,6 +54,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("compress") => compress(&args[1..]),
         Some("retrieve") => retrieve(&args[1..]),
         Some("info") => info(&args[1..]),
+        Some("conformance") => run_conformance(&args[1..]),
         _ => Err("missing or unknown subcommand".into()),
     }
 }
@@ -254,6 +260,66 @@ fn retrieve_block(args: &[String], input: &str, output: &str) -> Result<(), Stri
         b
     );
     Ok(())
+}
+
+/// Is the bare flag present? (All other pmrtool flags take a value; these
+/// two are booleans, so check before value-style parsing.)
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn run_conformance(args: &[String]) -> Result<(), String> {
+    let mut cfg = match flag_value(args, "--grid")?.unwrap_or("quick") {
+        "quick" => SweepConfig::quick(),
+        "full" => SweepConfig::full(),
+        other => return Err(format!("unknown grid {other} (quick|full)")),
+    };
+    if let Some(v) = flag_value(args, "--seed")? {
+        cfg.seed = parse(v, "--seed")?;
+    }
+    let golden_dir = flag_value(args, "--golden")?.map(PathBuf::from);
+
+    if has_flag(args, "--regen-golden") {
+        let dir = golden_dir.ok_or("--regen-golden requires --golden <dir>")?;
+        conformance::regenerate_golden(&dir)?;
+        println!("regenerated golden artifacts in {}", dir.display());
+        return Ok(());
+    }
+
+    let mut failures = Vec::new();
+    if let Some(dir) = &golden_dir {
+        let golden_failures = conformance::verify_golden(dir);
+        if golden_failures.is_empty() {
+            println!("golden artifacts in {} verified", dir.display());
+        }
+        failures.extend(golden_failures);
+    }
+
+    if has_flag(args, "--golden-only") {
+        if golden_dir.is_none() {
+            return Err("--golden-only requires --golden <dir>".into());
+        }
+    } else {
+        let mut report = conformance::run_all(&cfg);
+        report.failures.extend(std::mem::take(&mut failures));
+        print!("{}", report.summary());
+        if let Some(path) = flag_value(args, "--report")? {
+            let grid_name = flag_value(args, "--grid")?.unwrap_or("quick");
+            std::fs::write(path, conformance::report_json(&report, grid_name))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote report to {path}");
+        }
+        failures = report.failures;
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        Err(format!("{} conformance check(s) failed", failures.len()))
+    }
 }
 
 fn info(args: &[String]) -> Result<(), String> {

@@ -14,6 +14,8 @@
 //! * [`storage`] — storage-tier hierarchy model
 //! * [`nn`] — from-scratch MLP library (Huber loss, Adam, …)
 //! * [`core`] — D-MGARD and E-MGARD retrievers and the experiment runner
+//! * [`conformance`] — error-bound conformance sweeps, differential checks,
+//!   and golden-artifact verification (`pmrtool conformance`)
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory.
@@ -21,6 +23,7 @@
 pub use pmr_analysis as analysis;
 pub use pmr_blockcodec as blockcodec;
 pub use pmr_codec as codec;
+pub use pmr_conformance as conformance;
 pub use pmr_core as core;
 pub use pmr_error::{PmrError, Result as PmrResult};
 pub use pmr_field as field;

@@ -139,3 +139,104 @@ fn bad_invocations_fail_cleanly() {
     let out = pmrtool().args(["info", "/nonexistent/definitely_missing.pmrc"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn missing_input_reports_path_and_exits_nonzero() {
+    let out =
+        pmrtool().args(["compress", "/nonexistent/in.pmrf", "/tmp/out.pmrc"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "no error line: {stderr}");
+    assert!(stderr.contains("/nonexistent/in.pmrf"), "message must name the path: {stderr}");
+}
+
+#[test]
+fn corrupt_artifact_is_rejected_with_a_readable_message() {
+    let dir = tempdir("corrupt");
+
+    // Garbage bytes: wrong magic.
+    let garbage = dir.join("garbage.pmrc");
+    std::fs::write(&garbage, b"not an artifact at all").unwrap();
+    let out = pmrtool().arg("info").arg(&garbage).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    // Right magic, mangled payload: must fail parsing, not panic.
+    let blob_src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/poly-1d.pmr");
+    let mut blob = std::fs::read(&blob_src).expect("golden blob present");
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0xFF;
+    blob.truncate(blob.len() - 7);
+    let mangled = dir.join("mangled.pmrc");
+    std::fs::write(&mangled, &blob).unwrap();
+    let out = pmrtool()
+        .arg("retrieve")
+        .arg(&mangled)
+        .arg(dir.join("out.pmrf"))
+        .args(["--rel", "1e-3"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "mangled artifact must not succeed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "panic instead of error? {stderr}");
+    assert!(!stderr.contains("panicked"), "decoder panicked on corrupt input: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_threads_is_rejected_by_the_builder() {
+    let dir = tempdir("threads");
+    pmrtool()
+        .args(["gen", "warpx"])
+        .arg(&dir)
+        .args(["--size", "8", "--snapshots", "1"])
+        .output()
+        .unwrap();
+    let field_path = dir.join("J_x_t0000.pmrf");
+    assert!(field_path.exists());
+    let out = pmrtool()
+        .arg("compress")
+        .arg(&field_path)
+        .arg(dir.join("out.pmrc"))
+        .args(["--threads", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.to_lowercase().contains("thread"), "message should mention threads: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn conformance_verifies_checked_in_golden_artifacts() {
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let out =
+        pmrtool().args(["conformance", "--golden-only", "--golden"]).arg(&golden).output().unwrap();
+    assert!(
+        out.status.success(),
+        "golden verification failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verified"));
+
+    // A tampered copy must fail with a checksum complaint and exit 1.
+    let dir = tempdir("golden_tamper");
+    for entry in std::fs::read_dir(&golden).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+    let victim = dir.join("ridge-2d.pmr");
+    let mut blob = std::fs::read(&victim).unwrap();
+    let last = blob.len() - 1;
+    blob[last] ^= 0x01;
+    std::fs::write(&victim, &blob).unwrap();
+    let out =
+        pmrtool().args(["conformance", "--golden-only", "--golden"]).arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checksum"));
+    std::fs::remove_dir_all(&dir).ok();
+}
