@@ -27,8 +27,9 @@ use pmr_mgard::{persist, CompressConfig, Compressed, ExecPolicy};
 use std::path::Path;
 
 /// Bump when the golden corpus itself changes shape (not when blobs are
-/// legitimately regenerated).
-pub const GOLDEN_VERSION: u32 = 1;
+/// legitimately regenerated). Version 2: blobs carry the `PMRC2` per-plane
+/// checksum table.
+pub const GOLDEN_VERSION: u32 = 2;
 
 /// Metadata file name inside the golden directory.
 pub const GOLDEN_INDEX: &str = "golden.json";
@@ -82,15 +83,7 @@ fn golden_field(spec: &GoldenSpec) -> Field {
     Field::new(spec.name, 0, spec.shape, data)
 }
 
-/// FNV-1a 64-bit checksum.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x100000001b3);
-    }
-    hash
-}
+pub use pmr_mgard::checksum::fnv1a64;
 
 fn compress_golden(field: &Field) -> Compressed {
     let cfg = CompressConfig {

@@ -16,6 +16,9 @@
 //! * [`differential`] — serial-vs-parallel bit-identity, batch-vs-per-item
 //!   equivalence, and monotonicity invariants (tighter bound ⇒ no fewer
 //!   bytes; more planes ⇒ no more error in stride aggregate).
+//! * [`faults`] — a seeded fault grid (schedules × seeds × tolerances over
+//!   the corpus) asserting the degraded-retrieval contract: no panic, and
+//!   the reconstruction always satisfies the bound the reader reports.
 //! * [`golden`] — small checked-in compressed blobs whose bytes, plans,
 //!   fetch sizes and achieved-error *bits* must stay identical until the
 //!   format intentionally changes.
@@ -27,11 +30,13 @@
 //! schedule.
 
 pub mod differential;
+pub mod faults;
 pub mod fields;
 pub mod golden;
 pub mod json;
 pub mod sweep;
 
+pub use faults::{fault_report_json, run_fault_grid, FaultGridConfig, FaultReport, FaultSchedule};
 pub use fields::{catalogue, sim_slices, synthetic, FieldClass};
 pub use golden::{regenerate as regenerate_golden, verify as verify_golden};
 pub use sweep::{

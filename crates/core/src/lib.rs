@@ -23,6 +23,7 @@ pub mod features;
 pub mod framework;
 pub mod records;
 pub mod sweep;
+pub mod tolerant;
 
 pub use dmgard::{DMgard, DMgardConfig};
 pub use emgard::{build_samples_many, EMgard, EMgardConfig};
@@ -31,3 +32,4 @@ pub use framework::{
 };
 pub use records::{collect_records, collect_records_many, standard_rel_bounds, RetrievalRecord};
 pub use sweep::{sweep, sweep_strategy, SweepPoint};
+pub use tolerant::execute_tolerant;

@@ -1,0 +1,124 @@
+//! Fault-tolerant execution of any [`Retriever`] strategy.
+//!
+//! The planning half of the framework (theory greedy, D-MGARD prediction,
+//! E-MGARD learned constants) is oblivious to storage faults — it just
+//! produces plane counts. This module closes the loop: plan with whatever
+//! strategy, then execute the plan through `pmr-storage`'s tolerant fetch
+//! path, which retries, verifies checksums, truncates dead prefixes, and
+//! reports the honest achievable bound when segments are lost.
+
+use crate::framework::{RetrievalContext, Retriever};
+use pmr_error::PmrError;
+use pmr_mgard::RetrievalPlan;
+use pmr_storage::{
+    fetch_plan_tolerant, Placement, SegmentStore, StorageHierarchy, TolerantConfig,
+    TolerantRetrieval,
+};
+
+/// Plan with `retriever` at `abs_bound`, then execute the plan tolerantly
+/// against `store`.
+///
+/// Learned strategies may over-ask — D-MGARD's regression can predict more
+/// planes than a level holds. That is not a caller bug the way a malformed
+/// explicit plan is, so predicted counts are clamped to each level's
+/// capacity before execution (fetching every plane of a level is the most
+/// it can mean). Everything downstream is the storage-layer contract:
+/// retries, checksum verification, degraded reports with sound bounds.
+pub fn execute_tolerant(
+    retriever: &dyn Retriever,
+    ctx: &RetrievalContext<'_>,
+    abs_bound: f64,
+    store: &dyn SegmentStore,
+    cfg: &TolerantConfig,
+    model: Option<(&StorageHierarchy, &Placement)>,
+) -> Result<TolerantRetrieval, PmrError> {
+    let raw = retriever.plan(ctx, abs_bound);
+    let clamped: Vec<u32> = raw
+        .planes
+        .iter()
+        .zip(ctx.compressed.levels())
+        .map(|(&b, lvl)| b.min(lvl.num_planes()))
+        .collect();
+    let plan = RetrievalPlan { planes: clamped, estimated_error: raw.estimated_error };
+    fetch_plan_tolerant(ctx.compressed, store, &plan, abs_bound, cfg, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::retrieval_features;
+    use crate::framework::Theory;
+    use pmr_field::{error::max_abs_error, Field, Shape};
+    use pmr_mgard::{CompressConfig, Compressed};
+    use pmr_storage::{FaultConfig, FaultInjector, MemStore, RetryPolicy};
+
+    fn artifact() -> (Field, Compressed) {
+        let field = Field::from_fn("ct", 0, Shape::cube(9), |x, y, z| {
+            ((x as f64) * 0.6).sin() + ((y as f64) * 0.3).cos() * 0.4 + (z as f64) * 0.01
+        });
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        (field, c)
+    }
+
+    #[test]
+    fn theory_strategy_survives_flaky_store() {
+        let (field, c) = artifact();
+        let feats = retrieval_features(&field, &c);
+        let ctx = RetrievalContext { compressed: &c, features: &feats };
+        let faults = FaultConfig { transient: 0.3, bit_flip: 0.15, ..FaultConfig::quiet(77) };
+        let inj = FaultInjector::new(MemStore::from_compressed(&c), faults).unwrap();
+        let bound = c.absolute_bound(1e-4);
+        let tc = TolerantConfig {
+            policy: RetryPolicy { max_attempts: 64, ..RetryPolicy::default() },
+            ..TolerantConfig::default()
+        };
+        let out = execute_tolerant(&Theory, &ctx, bound, &inj, &tc, None).unwrap();
+        assert!(!out.is_degraded());
+        assert!(max_abs_error(field.data(), out.field.data()) <= bound);
+        assert!(out.stats.retries > 0);
+    }
+
+    #[test]
+    fn over_asking_strategy_is_clamped_not_rejected() {
+        struct Greedy;
+        impl Retriever for Greedy {
+            fn name(&self) -> &str {
+                "greedy-overask"
+            }
+            fn plan(&self, ctx: &RetrievalContext<'_>, _abs_bound: f64) -> RetrievalPlan {
+                // A (mock) learned model predicting past every level's
+                // capacity — must mean "fetch everything", not an error.
+                RetrievalPlan::from_planes(vec![u32::MAX; ctx.compressed.num_levels()])
+            }
+        }
+        let (field, c) = artifact();
+        let feats = retrieval_features(&field, &c);
+        let ctx = RetrievalContext { compressed: &c, features: &feats };
+        let store = MemStore::from_compressed(&c);
+        let out = execute_tolerant(&Greedy, &ctx, 1e-6, &store, &TolerantConfig::default(), None)
+            .unwrap();
+        assert!(!out.is_degraded());
+        let full: Vec<u32> = c.levels().iter().map(|l| l.num_planes()).collect();
+        assert_eq!(out.planes, full);
+        assert_eq!(out.stats.bytes, c.total_bytes());
+        // Full fetch reproduces the quantization-limited reconstruction.
+        let direct = c.retrieve(&c.plan_full());
+        assert_eq!(out.field.data(), direct.data());
+        let _ = field;
+    }
+
+    #[test]
+    fn strategy_loss_reports_degradation() {
+        let (field, c) = artifact();
+        let feats = retrieval_features(&field, &c);
+        let ctx = RetrievalContext { compressed: &c, features: &feats };
+        let bound = c.absolute_bound(1e-5);
+        let l = c.num_levels() - 1;
+        let store = MemStore::from_compressed(&c).without(&[(l, 0)]);
+        let out = execute_tolerant(&Theory, &ctx, bound, &store, &TolerantConfig::default(), None)
+            .unwrap();
+        let report = out.degraded.as_ref().expect("loss must degrade");
+        assert!(report.lost_segments.contains(&(l, 0)));
+        assert!(max_abs_error(field.data(), out.field.data()) <= report.achievable_bound);
+    }
+}

@@ -16,6 +16,7 @@ use pmr_codec::{
     bitstream::{BitReader, BitWriter},
     lossless, negabinary,
 };
+use pmr_error::PmrError;
 use serde::{Deserialize, Serialize};
 
 /// Default number of bit-planes per coefficient level (the paper's `B`).
@@ -234,6 +235,59 @@ impl LevelEncoding {
     /// The collected error row `Err[0..=B]`.
     pub fn error_row(&self) -> &[f64] {
         &self.error_row
+    }
+
+    /// The compressed payload of plane `k` — the unit of segment storage:
+    /// fault-tolerant readers fetch exactly these byte strings (keyed by
+    /// `(level, plane)`) from a [`pmr-storage`] segment store.
+    pub fn plane_payload(&self, k: u32) -> &[u8] {
+        &self.planes[k as usize]
+    }
+
+    /// Decode the level from *externally fetched* plane payloads instead of
+    /// the payloads held by this encoding. `payloads[k]` must be the byte
+    /// string of plane `k`; the prefix may be shorter than `B` (progressive
+    /// truncation keeps any prefix valid) but never longer.
+    ///
+    /// Unlike [`LevelEncoding::decode`], which trusts its own payloads, this
+    /// is the data path for bytes that crossed a storage tier: every payload
+    /// is re-validated (bounded decompression to exactly one bit per
+    /// coefficient) and a mangled segment comes back as
+    /// [`PmrError::Malformed`] instead of a panic.
+    pub fn decode_from_payloads(&self, payloads: &[Vec<u8>]) -> Result<Vec<f64>, PmrError> {
+        if payloads.len() > self.num_planes as usize {
+            return Err(PmrError::malformed(
+                "plane segment",
+                format!("{} payloads for a {}-plane level", payloads.len(), self.num_planes),
+            ));
+        }
+        if self.step == 0.0 {
+            return Ok(vec![0.0; self.count]);
+        }
+        let expected = self.count.div_ceil(8);
+        let mut digits = vec![0u64; self.count];
+        for (k, payload) in payloads.iter().enumerate() {
+            let bytes = match lossless::decompress_bounded(payload, expected) {
+                Some(b) if b.len() == expected => b,
+                _ => {
+                    return Err(PmrError::malformed(
+                        "plane segment",
+                        format!("plane {k} does not decompress to {expected} packed bytes"),
+                    ))
+                }
+            };
+            let shift = self.num_planes - 1 - k as u32;
+            let mut r = BitReader::new(&bytes);
+            for nb in digits.iter_mut() {
+                if r.next_bit().expect("validated plane holds one bit per coefficient") {
+                    *nb |= 1u64 << shift;
+                }
+            }
+        }
+        Ok(digits
+            .into_iter()
+            .map(|nb| negabinary::from_negabinary(nb) as f64 * self.step)
+            .collect())
     }
 
     /// Serialize to a self-contained byte buffer (used by the artifact

@@ -368,6 +368,66 @@ impl Compressed {
         estimate_error(&self.levels, &self.constants, planes)
     }
 
+    /// Check that `plan` matches this artifact's layout: one entry per
+    /// level, and no level asked for more planes than it holds.
+    pub fn validate_plan(&self, plan: &RetrievalPlan) -> Result<(), PmrError> {
+        if plan.planes.len() != self.levels.len() {
+            return Err(PmrError::invalid_config(format!(
+                "plan covers {} levels but the artifact has {}",
+                plan.planes.len(),
+                self.levels.len()
+            )));
+        }
+        for (l, (lvl, &want)) in self.levels.iter().zip(&plan.planes).enumerate() {
+            if want > lvl.num_planes() {
+                return Err(PmrError::invalid_config(format!(
+                    "plan requests {want} planes at level {l} but the level holds {}",
+                    lvl.num_planes()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a validated plan from explicit per-level plane counts,
+    /// attaching the theory error estimate. Unlike
+    /// [`RetrievalPlan::from_planes`] — which is artifact-agnostic, carries
+    /// no estimate, and defers all checking to the consumer — a mismatched
+    /// level count or an over-asking plane count is an error here.
+    pub fn plan_from_planes(&self, planes: Vec<u32>) -> Result<RetrievalPlan, PmrError> {
+        let plan = RetrievalPlan::from_planes(planes);
+        self.validate_plan(&plan)?;
+        let est = self.estimate_for(&plan.planes);
+        Ok(RetrievalPlan { estimated_error: est, ..plan })
+    }
+
+    /// Reconstruct from raw plane payloads fetched out-of-band: one prefix
+    /// of payload blobs per level, as handed over by a segment store. This
+    /// is the degraded-retrieval decode path — the fault-tolerant fetch
+    /// layer passes whatever plane prefixes survived, and the result is
+    /// exactly what [`Compressed::retrieve`] would produce for the
+    /// corresponding plan. Payloads that fail to decompress to the level's
+    /// packed size are a [`PmrError::Malformed`].
+    pub fn retrieve_from_payloads(&self, payloads: &[Vec<Vec<u8>>]) -> Result<Field, PmrError> {
+        if payloads.len() != self.levels.len() {
+            return Err(PmrError::invalid_config(format!(
+                "payloads cover {} levels but the artifact has {}",
+                payloads.len(),
+                self.levels.len()
+            )));
+        }
+        let coeffs: Vec<Vec<f64>> = self
+            .levels
+            .iter()
+            .zip(payloads)
+            .map(|(l, p)| l.decode_from_payloads(p))
+            .collect::<Result<_, _>>()?;
+        let mut data = self.decomposer.deinterleave(&coeffs);
+        let gated = self.exec.gate(data.len(), PARALLEL_MIN_POINTS);
+        self.decomposer.recompose_with(&mut data, &gated);
+        Ok(Field::new(self.name.clone(), self.timestep, self.decomposer.shape(), data))
+    }
+
     /// Bytes fetched under `plan` (the size interpreter).
     pub fn retrieved_bytes(&self, plan: &RetrievalPlan) -> u64 {
         plan_size(&self.levels, plan)

@@ -28,6 +28,7 @@
 //! by [`retrieve`] and [`compress`].
 
 pub mod bitplane;
+pub mod checksum;
 pub mod compress;
 pub mod decompose;
 pub mod estimate;
@@ -44,5 +45,5 @@ pub use compress::{
 pub use decompose::{Decomposer, TransformMode};
 pub use estimate::theory_constants;
 pub use exec::ExecPolicy;
-pub use retrieve::{greedy_plan, plan_size, refine_plan, RetrievalPlan};
+pub use retrieve::{greedy_plan, greedy_plan_capped, plan_size, refine_plan, RetrievalPlan};
 pub use session::ProgressiveSession;

@@ -5,20 +5,28 @@
 //! decomposition parameters, the value range — round-trips, so an artifact
 //! written by a producer can be progressively read elsewhere.
 //!
+//! Two wire versions exist. `PMRC2` (current) carries a per-plane FNV-1a
+//! checksum table so bit rot in a payload is detected at load/fetch time
+//! instead of surfacing as silent reconstruction error; `PMRC1` (legacy,
+//! pre-checksum) is still readable — [`from_bytes`] dispatches on the magic.
+//!
 //! ```text
-//! magic "PMRC1\0"
+//! magic "PMRC2\0"            ("PMRC1\0" = legacy, no checksum table)
 //! name        u32 len + UTF-8 bytes
 //! timestep    u64
 //! shape       u32 ndim + 3 x u32 dims
 //! levels L    u32
 //! mode        u8 (0 = Interpolation, 1 = L2Projection)
 //! value_range f64
+//! [v2 only] checksum table, per level:
+//!             u32 num_planes, num_planes x u64 fnv1a64(payload)
 //! per level:  u64 count, u32 num_planes, f64 step,
 //!             (B+1) x f64 error row,
 //!             B x (u32 len + payload bytes)
 //! ```
 
 use crate::bitplane::LevelEncoding;
+use crate::checksum::fnv1a64;
 use crate::compress::Compressed;
 use crate::decompose::{Decomposer, TransformMode};
 use pmr_error::PmrError;
@@ -27,16 +35,18 @@ use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 6] = b"PMRC1\0";
+/// Legacy pre-checksum magic; artifacts with it load without verification.
+pub const MAGIC_V1: &[u8; 6] = b"PMRC1\0";
+/// Current magic: header is followed by a per-plane checksum table.
+pub const MAGIC_V2: &[u8; 6] = b"PMRC2\0";
 
 fn malformed(detail: &str) -> PmrError {
     PmrError::malformed("mgard artifact", detail)
 }
 
-/// Serialize an artifact to bytes.
-pub fn to_bytes(c: &Compressed) -> Vec<u8> {
+fn encode(c: &Compressed, checksummed: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(c.total_bytes() as usize + 4096);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(if checksummed { MAGIC_V2 } else { MAGIC_V1 });
     let name = c.name().as_bytes();
     out.extend_from_slice(&(name.len() as u32).to_le_bytes());
     out.extend_from_slice(name);
@@ -52,13 +62,36 @@ pub fn to_bytes(c: &Compressed) -> Vec<u8> {
         TransformMode::L2Projection => 1,
     });
     out.extend_from_slice(&c.value_range().to_le_bytes());
+    if checksummed {
+        for lvl in c.levels() {
+            out.extend_from_slice(&lvl.num_planes().to_le_bytes());
+            for k in 0..lvl.num_planes() {
+                out.extend_from_slice(&fnv1a64(lvl.plane_payload(k)).to_le_bytes());
+            }
+        }
+    }
     for lvl in c.levels() {
         out.extend_from_slice(&lvl.to_bytes());
     }
     out
 }
 
-/// Deserialize an artifact previously produced by [`to_bytes`].
+/// Serialize an artifact to bytes in the current checksummed format.
+pub fn to_bytes(c: &Compressed) -> Vec<u8> {
+    encode(c, true)
+}
+
+/// Serialize in the legacy `PMRC1` layout (no checksum table). Exists so
+/// the backward-compat path stays testable; new artifacts should use
+/// [`to_bytes`].
+pub fn to_bytes_legacy_v1(c: &Compressed) -> Vec<u8> {
+    encode(c, false)
+}
+
+/// Deserialize an artifact previously produced by [`to_bytes`] (either wire
+/// version). For `PMRC2` inputs every plane payload is verified against the
+/// stored checksum table; a mismatch is a [`PmrError::Malformed`] naming the
+/// level and plane.
 pub fn from_bytes(buf: &[u8]) -> Result<Compressed, PmrError> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
@@ -76,9 +109,12 @@ pub fn from_bytes(buf: &[u8]) -> Result<Compressed, PmrError> {
         Some(f64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
     };
 
-    if take(&mut pos, 6).ok_or_else(|| malformed("truncated magic"))? != MAGIC {
-        return Err(malformed("bad magic"));
-    }
+    let magic = take(&mut pos, 6).ok_or_else(|| malformed("truncated magic"))?;
+    let checksummed = match magic {
+        m if m == MAGIC_V1 => false,
+        m if m == MAGIC_V2 => true,
+        _ => return Err(malformed("bad magic")),
+    };
     let name_len = u32_at(&mut pos).ok_or_else(|| malformed("truncated name length"))? as usize;
     if name_len > 4096 {
         return Err(malformed("name length exceeds 4096"));
@@ -118,12 +154,59 @@ pub fn from_bytes(buf: &[u8]) -> Result<Compressed, PmrError> {
         return Err(malformed("stored level count impossible for this shape"));
     }
 
+    let checksums: Option<Vec<Vec<u64>>> = if checksummed {
+        let mut table = Vec::with_capacity(num_levels);
+        for l in 0..num_levels {
+            let planes =
+                u32_at(&mut pos).ok_or_else(|| malformed("truncated checksum table"))? as usize;
+            if planes > 256 {
+                return Err(PmrError::malformed(
+                    "mgard artifact",
+                    format!("checksum table claims {planes} planes at level {l}"),
+                ));
+            }
+            let mut row = Vec::with_capacity(planes);
+            for _ in 0..planes {
+                row.push(u64_at(&mut pos).ok_or_else(|| malformed("truncated checksum table"))?);
+            }
+            table.push(row);
+        }
+        Some(table)
+    } else {
+        None
+    };
+
     let mut levels = Vec::with_capacity(num_levels);
     for l in 0..num_levels {
         let rest = buf.get(pos..).ok_or_else(|| malformed("truncated level payload"))?;
         let (enc, used) = LevelEncoding::from_bytes(rest)
             .ok_or_else(|| PmrError::malformed("mgard artifact", format!("bad level {l}")))?;
         pos += used;
+        if let Some(table) = &checksums {
+            let row = &table[l];
+            if row.len() != enc.num_planes() as usize {
+                return Err(PmrError::malformed(
+                    "mgard artifact",
+                    format!(
+                        "checksum table has {} entries at level {l} but the level holds {} planes",
+                        row.len(),
+                        enc.num_planes()
+                    ),
+                ));
+            }
+            for (k, &expect) in row.iter().enumerate() {
+                let got = fnv1a64(enc.plane_payload(k as u32));
+                if got != expect {
+                    return Err(PmrError::malformed(
+                        "mgard artifact",
+                        format!(
+                            "checksum mismatch at level {l} plane {k}: \
+                             stored {expect:#018x}, payload hashes to {got:#018x}"
+                        ),
+                    ));
+                }
+            }
+        }
         levels.push(enc);
     }
     if pos != buf.len() {
@@ -167,6 +250,11 @@ mod tests {
         (field, c)
     }
 
+    /// Byte offset where the checksum table starts for `c` (v2 layout).
+    fn table_offset(c: &Compressed) -> usize {
+        6 + 4 + c.name().len() + 8 + 16 + 4 + 1 + 8
+    }
+
     #[test]
     fn bytes_roundtrip_preserves_retrieval() {
         let (field, c) = artifact();
@@ -185,6 +273,44 @@ mod tests {
             assert_eq!(r1.data(), r2.data());
             assert!(max_abs_error(field.data(), r2.data()) <= abs);
         }
+    }
+
+    #[test]
+    fn legacy_v1_blobs_still_load() {
+        let (_, c) = artifact();
+        let v1 = to_bytes_legacy_v1(&c);
+        assert_eq!(&v1[..6], MAGIC_V1);
+        let rt = from_bytes(&v1).expect("legacy load");
+        assert_eq!(rt.total_bytes(), c.total_bytes());
+        let plan = c.plan_theory(c.absolute_bound(1e-4));
+        assert_eq!(c.retrieve(&plan).data(), rt.retrieve(&plan).data());
+        // The two wire versions differ only by magic + checksum table.
+        let v2 = to_bytes(&c);
+        let table: usize = c.levels().iter().map(|l| 4 + 8 * l.num_planes() as usize).sum();
+        assert_eq!(v2.len(), v1.len() + table);
+    }
+
+    #[test]
+    fn tampered_checksum_entry_detected() {
+        let (_, c) = artifact();
+        let mut bytes = to_bytes(&c);
+        // First digest byte of level 0's table row (skip its u32 count).
+        let at = table_offset(&c) + 4;
+        bytes[at] ^= 0xFF;
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "got: {err}");
+    }
+
+    #[test]
+    fn payload_bit_flip_detected() {
+        let (_, c) = artifact();
+        let bytes = to_bytes(&c);
+        // Flip one bit in the last payload byte of the buffer — deep inside
+        // the final level's plane data, past every header field.
+        let mut bad = bytes.clone();
+        let at = bad.len() - 1;
+        bad[at] ^= 0x01;
+        assert!(from_bytes(&bad).is_err(), "payload corruption must not load silently");
     }
 
     #[test]

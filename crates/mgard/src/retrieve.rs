@@ -136,6 +136,57 @@ pub fn refine_plan(
     RetrievalPlan { planes: b, estimated_error: est }
 }
 
+/// Greedy plan under per-level availability caps: starting from the planes
+/// already held (`floor`), fetch additional planes by accuracy efficiency —
+/// but never past `caps[l]` at level `l`.
+///
+/// This is the degraded-retrieval re-planner: when a segment of level `l`
+/// is unrecoverable after retries, the level's usable prefix is capped at
+/// the last intact plane, and the remaining error budget is spent on the
+/// *surviving* levels instead. The returned plan's `estimated_error` is the
+/// honest theory estimate at the capped plan — it may exceed `err_bound`
+/// when the caps make the bound unreachable, and callers must report that
+/// rather than the requested bound.
+pub fn greedy_plan_capped(
+    levels: &[LevelEncoding],
+    constants: &[f64],
+    err_bound: f64,
+    floor: &[u32],
+    caps: &[u32],
+) -> RetrievalPlan {
+    assert_eq!(levels.len(), constants.len(), "constants/levels mismatch");
+    assert_eq!(levels.len(), floor.len(), "floor/levels mismatch");
+    assert_eq!(levels.len(), caps.len(), "caps/levels mismatch");
+    assert!(err_bound >= 0.0, "error bound must be non-negative");
+    let caps: Vec<u32> = caps.iter().zip(levels).map(|(&c, l)| c.min(l.num_planes())).collect();
+    let mut b: Vec<u32> = floor.iter().zip(&caps).map(|(&f, &c)| f.min(c)).collect();
+    let mut est: f64 =
+        levels.iter().zip(constants).zip(&b).map(|((l, &c), &bl)| c * l.error_at(bl)).sum();
+
+    while est > err_bound {
+        let mut best: Option<(usize, f64)> = None;
+        for (l, lvl) in levels.iter().enumerate() {
+            if b[l] >= caps[l] {
+                continue;
+            }
+            let gain = constants[l] * (lvl.error_at(b[l]) - lvl.error_at(b[l] + 1)).max(0.0);
+            let cost = lvl.plane_size(b[l]).max(1) as f64;
+            let eff = gain / cost;
+            if best.is_none_or(|(_, be)| eff > be) {
+                best = Some((l, eff));
+            }
+        }
+        let Some((l, _)) = best else {
+            break; // every admissible plane fetched; bound unreachable
+        };
+        let old = constants[l] * levels[l].error_at(b[l]);
+        b[l] += 1;
+        est += constants[l] * levels[l].error_at(b[l]) - old;
+    }
+
+    RetrievalPlan { planes: b, estimated_error: est }
+}
+
 /// The size interpreter: compressed bytes fetched under `plan`
 /// (Equation 1 of the paper).
 pub fn plan_size(levels: &[LevelEncoding], plan: &RetrievalPlan) -> u64 {
@@ -270,6 +321,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn capped_greedy_matches_greedy_when_unconstrained() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let caps: Vec<u32> = levels.iter().map(|l| l.num_planes()).collect();
+        for bound in [1.0, 0.1, 1e-3] {
+            let free = greedy_plan(&levels, &constants, bound);
+            let capped = greedy_plan_capped(&levels, &constants, bound, &[0, 0, 0], &caps);
+            assert_eq!(free, capped, "bound={bound}");
+        }
+    }
+
+    #[test]
+    fn capped_greedy_respects_caps_and_floor() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let floor = [2u32, 0, 1];
+        let caps = [4u32, 0, 16];
+        let plan = greedy_plan_capped(&levels, &constants, 1e-6, &floor, &caps);
+        for l in 0..3 {
+            assert!(plan.planes[l] >= floor[l].min(caps[l]), "level {l} below floor");
+            assert!(plan.planes[l] <= caps[l], "level {l} above cap");
+        }
+        // The capped estimate is honest: recomputing from the rows agrees.
+        let expect: f64 = levels
+            .iter()
+            .zip(&constants)
+            .zip(&plan.planes)
+            .map(|((lvl, &c), &b)| c * lvl.error_at(b))
+            .sum();
+        assert!((plan.estimated_error - expect).abs() <= 1e-12 * (1.0 + expect));
+    }
+
+    #[test]
+    fn capped_greedy_compensates_on_surviving_levels() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let bound = 1e-3;
+        let free = greedy_plan(&levels, &constants, bound);
+        // Cap level 1 below what the free plan wanted: the planner must
+        // spend more planes on levels 0/2 to chase the bound.
+        assert!(free.planes[1] > 1);
+        let caps = [16u32, 1, 16];
+        let capped = greedy_plan_capped(&levels, &constants, bound, &[0, 0, 0], &caps);
+        assert_eq!(capped.planes[1], 1);
+        assert!(
+            capped.planes[0] >= free.planes[0] && capped.planes[2] >= free.planes[2],
+            "capped={:?} free={:?}",
+            capped.planes,
+            free.planes
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::compress::Compressed;
 use crate::retrieve::RetrievalPlan;
+use pmr_error::PmrError;
 use pmr_field::Field;
 
 /// A stateful progressive reader over one compressed artifact.
@@ -56,12 +57,22 @@ impl<'a> ProgressiveSession<'a> {
     /// Refine to (at least) `plan`: fetch only the planes not yet held.
     /// Returns the incremental bytes read. Plans are merged monotonically —
     /// a looser follow-up request never discards fetched planes.
-    pub fn refine_to_plan(&mut self, plan: &RetrievalPlan) -> u64 {
-        assert_eq!(plan.planes.len(), self.planes.len(), "plan/levels mismatch");
+    ///
+    /// Externally supplied plans are validated against the artifact: a plan
+    /// covering the wrong number of levels, or requesting more planes than a
+    /// level holds, is a [`PmrError::InvalidConfig`] — the session state is
+    /// left untouched. (Earlier versions silently truncated both; a predicted
+    /// plan that over-asks is a caller bug worth surfacing.)
+    pub fn refine_to_plan(&mut self, plan: &RetrievalPlan) -> Result<u64, PmrError> {
+        self.compressed.validate_plan(plan)?;
+        Ok(self.merge_valid(plan))
+    }
+
+    /// Merge a plan already known to match the artifact's level layout.
+    fn merge_valid(&mut self, plan: &RetrievalPlan) -> u64 {
         let mut delta = 0u64;
         for (l, (cur, &want)) in self.planes.iter_mut().zip(&plan.planes).enumerate() {
             let lvl = &self.compressed.levels()[l];
-            let want = want.min(lvl.num_planes());
             if want > *cur {
                 delta += lvl.size_of_first(want) - lvl.size_of_first(*cur);
                 *cur = want;
@@ -72,16 +83,17 @@ impl<'a> ProgressiveSession<'a> {
     }
 
     /// Refine using the theory-based error control. Returns incremental
-    /// bytes.
+    /// bytes. (Infallible: the planner only emits plans matching the
+    /// artifact.)
     pub fn refine_theory(&mut self, abs_bound: f64) -> u64 {
         let plan = self.compressed.plan_theory(abs_bound);
-        self.refine_to_plan(&plan)
+        self.merge_valid(&plan)
     }
 
     /// Refine using externally supplied per-level constants (E-MGARD).
     pub fn refine_with_constants(&mut self, abs_bound: f64, constants: &[f64]) -> u64 {
         let plan = self.compressed.plan_with_constants(abs_bound, constants);
-        self.refine_to_plan(&plan)
+        self.merge_valid(&plan)
     }
 
     /// Reconstruct the field from everything fetched so far. Decoding and
@@ -156,10 +168,10 @@ mod tests {
         let (_, c) = artifact();
         let mut session = ProgressiveSession::new(&c);
         let nl = c.num_levels();
-        session.refine_to_plan(&RetrievalPlan::from_planes(vec![4; nl]));
+        session.refine_to_plan(&RetrievalPlan::from_planes(vec![4; nl])).unwrap();
         let mut uneven = vec![2u32; nl];
         uneven[nl - 1] = 8;
-        session.refine_to_plan(&RetrievalPlan::from_planes(uneven));
+        session.refine_to_plan(&RetrievalPlan::from_planes(uneven)).unwrap();
         let mut expect = vec![4u32; nl];
         expect[nl - 1] = 8;
         assert_eq!(session.planes(), &expect[..]);
@@ -191,11 +203,34 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_plan_clamped() {
+    fn over_asking_plan_is_rejected_without_side_effects() {
         let (_, c) = artifact();
         let mut session = ProgressiveSession::new(&c);
-        session.refine_to_plan(&RetrievalPlan::from_planes(vec![99; c.num_levels()]));
-        assert!(session.planes().iter().zip(c.levels()).all(|(&b, l)| b == l.num_planes()));
+        let err = session
+            .refine_to_plan(&RetrievalPlan::from_planes(vec![99; c.num_levels()]))
+            .unwrap_err();
+        assert!(matches!(err, PmrError::InvalidConfig { .. }));
+        assert_eq!(session.fetched_bytes(), 0, "rejected plan must not mutate the session");
+        assert!(session.planes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mismatched_level_count_is_rejected() {
+        let (_, c) = artifact();
+        let mut session = ProgressiveSession::new(&c);
+        let err = session
+            .refine_to_plan(&RetrievalPlan::from_planes(vec![1; c.num_levels() + 1]))
+            .unwrap_err();
+        assert!(matches!(err, PmrError::InvalidConfig { .. }));
+        assert_eq!(session.fetched_bytes(), 0);
+    }
+
+    #[test]
+    fn full_plan_via_validation_fetches_everything() {
+        let (_, c) = artifact();
+        let mut session = ProgressiveSession::new(&c);
+        let full: Vec<u32> = c.levels().iter().map(|l| l.num_planes()).collect();
+        session.refine_to_plan(&c.plan_from_planes(full).unwrap()).unwrap();
         assert_eq!(session.fetched_bytes(), c.total_bytes());
     }
 }

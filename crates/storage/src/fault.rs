@@ -1,0 +1,392 @@
+//! Deterministic, seed-driven fault injection over a [`SegmentStore`].
+//!
+//! Reproducibility is the whole design: every fault decision is a pure
+//! function of `(seed, level, plane, attempt)` via a splitmix64-style mixer,
+//! so a given seed produces a bit-identical fault schedule on every run and
+//! on every platform — independent of the order segments are fetched in,
+//! because each segment carries its own attempt counter. That is what lets
+//! the conformance suite replay a failing schedule from nothing but its
+//! seed, and what makes the determinism tests meaningful.
+//!
+//! Fault taxonomy (checked in this priority order, one fault per attempt):
+//! permanent loss → transient error → timeout → truncated read → bit flip →
+//! latency spike. Truncation and bit flips *return bytes* — the corruption
+//! is only caught downstream by checksum verification, exactly like real
+//! bit rot.
+
+use crate::segment::{FetchError, SegmentKey, SegmentRead, SegmentStore};
+use pmr_error::PmrError;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Probabilities (per attempt, except `permanent` which is per segment) and
+/// magnitudes for the injected fault classes. All probabilities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic schedule.
+    pub seed: u64,
+    /// Per-segment probability the segment is permanently lost.
+    pub permanent: f64,
+    /// Per-attempt probability of a transient error.
+    pub transient: f64,
+    /// Per-attempt probability the attempt times out outright.
+    pub timeout: f64,
+    /// Per-attempt probability the read returns truncated bytes.
+    pub truncate: f64,
+    /// Per-attempt probability one bit of the payload is flipped.
+    pub bit_flip: f64,
+    /// Per-attempt probability of a latency spike (the read succeeds but
+    /// is charged `spike_s` extra seconds).
+    pub latency_spike: f64,
+    /// Magnitude of an injected latency spike, in seconds.
+    pub spike_s: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all — the injector becomes a transparent wrapper.
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            permanent: 0.0,
+            transient: 0.0,
+            timeout: 0.0,
+            truncate: 0.0,
+            bit_flip: 0.0,
+            latency_spike: 0.0,
+            spike_s: 0.0,
+        }
+    }
+
+    /// A moderately hostile tier: occasional transients, rare corruption.
+    pub fn flaky(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            permanent: 0.0,
+            transient: 0.15,
+            timeout: 0.05,
+            truncate: 0.05,
+            bit_flip: 0.05,
+            latency_spike: 0.10,
+            spike_s: 0.5,
+        }
+    }
+
+    /// Validate every probability is in `[0, 1]` and the spike is sane.
+    pub fn validate(&self) -> Result<(), PmrError> {
+        let probs = [
+            ("permanent", self.permanent),
+            ("transient", self.transient),
+            ("timeout", self.timeout),
+            ("truncate", self.truncate),
+            ("bit_flip", self.bit_flip),
+            ("latency_spike", self.latency_spike),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PmrError::invalid_config(format!(
+                    "fault probability {name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if !self.spike_s.is_finite() || self.spike_s < 0.0 {
+            return Err(PmrError::invalid_config(format!(
+                "spike_s must be finite and >= 0, got {}",
+                self.spike_s
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One injected fault, for the replayable fault log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    pub key: SegmentKey,
+    /// 1-based attempt number at which the fault fired.
+    pub attempt: u32,
+    pub kind: FaultKind,
+}
+
+/// What the injector did to an attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    PermanentLoss,
+    Transient,
+    Timeout,
+    /// Payload cut to this many bytes.
+    Truncate(usize),
+    /// Bit `bit` of byte `byte` flipped.
+    BitFlip {
+        byte: usize,
+        bit: u8,
+    },
+    /// Extra seconds charged to the read.
+    LatencySpike(f64),
+}
+
+// Distinct salts keep the per-kind fault streams independent: hitting the
+// transient roll at one probability must not correlate with the bit-flip
+// roll of the same attempt.
+const SALT_PERMANENT: u64 = 0x9e37_79b9_7f4a_7c15;
+const SALT_TRANSIENT: u64 = 0xd1b5_4a32_d192_ed03;
+const SALT_TIMEOUT: u64 = 0x8cb9_2ba7_2f3d_8dd7;
+const SALT_TRUNCATE: u64 = 0xaef1_7502_108e_f2d9;
+const SALT_BITFLIP: u64 = 0x6c62_272e_07bb_0142;
+const SALT_SPIKE: u64 = 0x27d4_eb2f_1656_67c5;
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seed-driven fault wrapper around any [`SegmentStore`].
+///
+/// Attempt counters are per segment, so the fault decision for attempt `n`
+/// of segment `(l, k)` is independent of what the caller fetched in
+/// between — two runs with the same seed and the same per-segment attempt
+/// sequence see bit-identical faults.
+pub struct FaultInjector<S> {
+    inner: S,
+    cfg: FaultConfig,
+    attempts: Mutex<HashMap<SegmentKey, u32>>,
+    log: Mutex<Vec<FaultEvent>>,
+}
+
+impl<S: SegmentStore> FaultInjector<S> {
+    pub fn new(inner: S, cfg: FaultConfig) -> Result<Self, PmrError> {
+        cfg.validate()?;
+        Ok(FaultInjector {
+            inner,
+            cfg,
+            attempts: Mutex::new(HashMap::new()),
+            log: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Uniform roll in `[0, 1)` for a `(kind, key, attempt)` triple.
+    fn roll(&self, salt: u64, key: SegmentKey, attempt: u32) -> f64 {
+        let h = mix(self
+            .cfg
+            .seed
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(salt)
+            .wrapping_add((key.0 as u64) << 40)
+            .wrapping_add((key.1 as u64) << 20)
+            .wrapping_add(attempt as u64));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Raw entropy for picking fault positions (truncation point, bit index).
+    fn entropy(&self, salt: u64, key: SegmentKey, attempt: u32) -> u64 {
+        mix(self
+            .cfg
+            .seed
+            .wrapping_add(salt.rotate_left(17))
+            .wrapping_add((key.0 as u64) << 40)
+            .wrapping_add((key.1 as u64) << 20)
+            .wrapping_add(attempt as u64))
+    }
+
+    fn record(&self, key: SegmentKey, attempt: u32, kind: FaultKind) {
+        self.log.lock().expect("fault log poisoned").push(FaultEvent { key, attempt, kind });
+    }
+
+    /// The faults injected so far, in fetch order.
+    pub fn log(&self) -> Vec<FaultEvent> {
+        self.log.lock().expect("fault log poisoned").clone()
+    }
+
+    /// Attempts issued per segment so far.
+    pub fn attempts(&self, key: SegmentKey) -> u32 {
+        *self.attempts.lock().expect("attempt map poisoned").get(&key).unwrap_or(&0)
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: SegmentStore> SegmentStore for FaultInjector<S> {
+    fn fetch(&self, key: SegmentKey) -> Result<SegmentRead, FetchError> {
+        let attempt = {
+            let mut map = self.attempts.lock().expect("attempt map poisoned");
+            let n = map.entry(key).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let (level, plane) = key;
+
+        // Permanent loss is a property of the segment, not the attempt.
+        if self.roll(SALT_PERMANENT, key, 0) < self.cfg.permanent {
+            if attempt == 1 {
+                self.record(key, attempt, FaultKind::PermanentLoss);
+            }
+            return Err(FetchError::Missing { level, plane });
+        }
+        if self.roll(SALT_TRANSIENT, key, attempt) < self.cfg.transient {
+            self.record(key, attempt, FaultKind::Transient);
+            return Err(FetchError::Transient {
+                level,
+                plane,
+                detail: format!("injected transient (attempt {attempt})"),
+            });
+        }
+        if self.roll(SALT_TIMEOUT, key, attempt) < self.cfg.timeout {
+            self.record(key, attempt, FaultKind::Timeout);
+            return Err(FetchError::Timeout {
+                level,
+                plane,
+                elapsed_s: f64::INFINITY,
+                deadline_s: 0.0,
+            });
+        }
+
+        let mut read = self.inner.fetch(key)?;
+
+        if self.roll(SALT_TRUNCATE, key, attempt) < self.cfg.truncate && !read.bytes.is_empty() {
+            let keep = (self.entropy(SALT_TRUNCATE, key, attempt) as usize) % read.bytes.len();
+            read.bytes.truncate(keep);
+            self.record(key, attempt, FaultKind::Truncate(keep));
+        } else if self.roll(SALT_BITFLIP, key, attempt) < self.cfg.bit_flip
+            && !read.bytes.is_empty()
+        {
+            let e = self.entropy(SALT_BITFLIP, key, attempt);
+            let byte = (e as usize) % read.bytes.len();
+            let bit = ((e >> 48) % 8) as u8;
+            read.bytes[byte] ^= 1 << bit;
+            self.record(key, attempt, FaultKind::BitFlip { byte, bit });
+        }
+        if self.roll(SALT_SPIKE, key, attempt) < self.cfg.latency_spike {
+            read.extra_latency_s += self.cfg.spike_s;
+            self.record(key, attempt, FaultKind::LatencySpike(self.cfg.spike_s));
+        }
+        Ok(read)
+    }
+
+    fn contains(&self, key: SegmentKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn keys(&self) -> Vec<SegmentKey> {
+        self.inner.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::MemStore;
+    use pmr_field::{Field, Shape};
+    use pmr_mgard::{CompressConfig, Compressed};
+
+    fn artifact() -> Compressed {
+        let field = Field::from_fn("f", 0, Shape::cube(9), |x, y, _| {
+            ((x as f64) * 0.5).sin() + (y as f64) * 0.01
+        });
+        Compressed::compress(&field, &CompressConfig::default())
+    }
+
+    #[test]
+    fn quiet_config_is_transparent() {
+        let c = artifact();
+        let inj = FaultInjector::new(MemStore::from_compressed(&c), FaultConfig::quiet(7)).unwrap();
+        for key in inj.keys() {
+            let read = inj.fetch(key).unwrap();
+            assert_eq!(read.bytes, c.levels()[key.0].plane_payload(key.1));
+            assert_eq!(read.extra_latency_s, 0.0);
+        }
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn same_seed_gives_bit_identical_fault_sequence() {
+        let c = artifact();
+        let run = |seed: u64| {
+            let inj = FaultInjector::new(MemStore::from_compressed(&c), FaultConfig::flaky(seed))
+                .unwrap();
+            let mut outcomes = Vec::new();
+            for key in inj.keys() {
+                for _ in 0..3 {
+                    outcomes.push(inj.fetch(key).map(|r| r.bytes));
+                }
+            }
+            (outcomes, inj.log())
+        };
+        let (a_out, a_log) = run(42);
+        let (b_out, b_log) = run(42);
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_log, b_log);
+        let (c_out, c_log) = run(43);
+        assert!(a_out != c_out || a_log != c_log, "different seed should differ");
+    }
+
+    #[test]
+    fn fault_schedule_is_fetch_order_independent() {
+        let c = artifact();
+        let forward =
+            FaultInjector::new(MemStore::from_compressed(&c), FaultConfig::flaky(11)).unwrap();
+        let backward =
+            FaultInjector::new(MemStore::from_compressed(&c), FaultConfig::flaky(11)).unwrap();
+        let keys = forward.keys();
+        let mut fw: HashMap<SegmentKey, Vec<_>> = HashMap::new();
+        for &key in &keys {
+            for _ in 0..2 {
+                fw.entry(key).or_default().push(forward.fetch(key).map(|r| r.bytes));
+            }
+        }
+        let mut bw: HashMap<SegmentKey, Vec<_>> = HashMap::new();
+        for &key in keys.iter().rev() {
+            for _ in 0..2 {
+                bw.entry(key).or_default().push(backward.fetch(key).map(|r| r.bytes));
+            }
+        }
+        assert_eq!(fw, bw, "per-segment outcomes must not depend on global fetch order");
+    }
+
+    #[test]
+    fn permanent_loss_is_stable_across_attempts() {
+        let c = artifact();
+        let cfg = FaultConfig { permanent: 0.5, ..FaultConfig::quiet(3) };
+        let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).unwrap();
+        let keys = inj.keys();
+        let lost: Vec<bool> = keys.iter().map(|&k| inj.fetch(k).is_err()).collect();
+        assert!(lost.iter().any(|&l| l), "p=0.5 should lose something");
+        assert!(lost.iter().any(|&l| !l), "p=0.5 should keep something");
+        for (i, &key) in keys.iter().enumerate() {
+            for _ in 0..3 {
+                assert_eq!(inj.fetch(key).is_err(), lost[i], "loss must not flicker");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        let c = artifact();
+        let store = MemStore::from_compressed(&c);
+        let bad = FaultConfig { transient: 1.5, ..FaultConfig::quiet(0) };
+        assert!(FaultInjector::new(store.clone(), bad).is_err());
+        let bad = FaultConfig { spike_s: f64::NAN, ..FaultConfig::quiet(0) };
+        assert!(FaultInjector::new(store, bad).is_err());
+    }
+
+    #[test]
+    fn corruption_faults_change_bytes_but_not_errors() {
+        let c = artifact();
+        let cfg = FaultConfig { bit_flip: 1.0, ..FaultConfig::quiet(9) };
+        let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).unwrap();
+        for key in inj.keys() {
+            let read = inj.fetch(key).expect("bit flips still deliver bytes");
+            let clean = c.levels()[key.0].plane_payload(key.1);
+            if !clean.is_empty() {
+                assert_ne!(read.bytes, clean, "bit flip must corrupt {key:?}");
+                assert_eq!(read.bytes.len(), clean.len());
+            }
+        }
+    }
+}

@@ -6,10 +6,29 @@
 //! "I/O cost" as the data read through that hierarchy. This crate models
 //! tiers with latency + bandwidth, maps levels to tiers, and accounts for
 //! the retrieval time of a [`RetrievalPlan`].
+//!
+//! Beyond the analytical model, the crate provides the *fault-tolerant
+//! segment I/O* subsystem: [`segment`] (the `(level, plane)`-keyed
+//! [`SegmentStore`] trait with in-memory and file-backed backends),
+//! [`fault`] (a deterministic seed-driven [`FaultInjector`]), [`fetch`]
+//! (retry/backoff under a virtual clock with checksum verification), and
+//! [`tolerant`] (graceful degradation with honest re-estimated bounds).
 
 use pmr_error::PmrError;
 use pmr_mgard::{Compressed, RetrievalPlan};
 use serde::{Deserialize, Serialize};
+
+pub mod fault;
+pub mod fetch;
+pub mod segment;
+pub mod tolerant;
+
+pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind};
+pub use fetch::{ExpectedSegment, FetchExecutor, FetchStats, RetryPolicy};
+pub use segment::{FetchError, FileStore, MemStore, SegmentKey, SegmentRead, SegmentStore};
+pub use tolerant::{
+    fetch_plan_tolerant, retrieve_tolerant, DegradedRetrieval, TolerantConfig, TolerantRetrieval,
+};
 
 /// One storage tier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -1,0 +1,357 @@
+//! Segment-granular storage: the fetchable unit of progressive retrieval.
+//!
+//! A *segment* is one encoded bit-plane of one coefficient level, keyed by
+//! `(level, plane)`. The paper's tiered store serves exactly these units —
+//! a retrieval plan is a per-level plane-prefix, so the reader issues one
+//! fetch per `(l, k)` with `k < planes[l]` and decodes whatever prefixes it
+//! obtains. [`SegmentStore`] abstracts the backend ([`MemStore`] for tests
+//! and simulation, [`FileStore`] for a directory of per-segment files);
+//! fault injection and retry wrap this trait without the backends knowing.
+
+use pmr_error::PmrError;
+use pmr_mgard::checksum::fnv1a64;
+use pmr_mgard::Compressed;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// `(level, plane)` — the address of one encoded bit-plane.
+pub type SegmentKey = (usize, u32);
+
+/// Why a segment fetch failed. Only [`FetchError::Missing`] is permanent;
+/// every other variant is worth a retry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchError {
+    /// The segment does not exist on any tier (permanent loss).
+    Missing { level: usize, plane: u32 },
+    /// A transient I/O error (connection reset, EIO, ...); retryable.
+    Transient { level: usize, plane: u32, detail: String },
+    /// The attempt exceeded its deadline; retryable.
+    Timeout { level: usize, plane: u32, elapsed_s: f64, deadline_s: f64 },
+    /// Bytes arrived but fail checksum / length verification; retryable
+    /// (the next attempt may read a clean replica).
+    Corrupt { level: usize, plane: u32, detail: String },
+    /// Any other I/O failure; retryable.
+    Io { level: usize, plane: u32, detail: String },
+}
+
+impl FetchError {
+    /// The segment this error concerns.
+    pub fn key(&self) -> SegmentKey {
+        match *self {
+            FetchError::Missing { level, plane }
+            | FetchError::Transient { level, plane, .. }
+            | FetchError::Timeout { level, plane, .. }
+            | FetchError::Corrupt { level, plane, .. }
+            | FetchError::Io { level, plane, .. } => (level, plane),
+        }
+    }
+
+    /// Permanent errors are not retried: no attempt can ever succeed.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, FetchError::Missing { .. })
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::Missing { level, plane } => {
+                write!(f, "segment ({level},{plane}) missing from every tier")
+            }
+            FetchError::Transient { level, plane, detail } => {
+                write!(f, "transient error fetching ({level},{plane}): {detail}")
+            }
+            FetchError::Timeout { level, plane, elapsed_s, deadline_s } => {
+                write!(
+                    f,
+                    "fetch of ({level},{plane}) timed out: {elapsed_s:.4}s > {deadline_s:.4}s"
+                )
+            }
+            FetchError::Corrupt { level, plane, detail } => {
+                write!(f, "segment ({level},{plane}) corrupt: {detail}")
+            }
+            FetchError::Io { level, plane, detail } => {
+                write!(f, "I/O error fetching ({level},{plane}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// The result of one successful low-level read: the raw payload plus any
+/// extra latency the backend (or an injected fault) charged beyond the
+/// tier's nominal cost. Virtual-clock accounting in the fetch executor adds
+/// this on top of `latency + bytes/bandwidth`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRead {
+    pub bytes: Vec<u8>,
+    pub extra_latency_s: f64,
+}
+
+impl SegmentRead {
+    pub fn clean(bytes: Vec<u8>) -> Self {
+        SegmentRead { bytes, extra_latency_s: 0.0 }
+    }
+}
+
+/// A backend serving encoded bit-plane segments.
+///
+/// `fetch` takes `&self`: backends are shared across the parallel retrieval
+/// path, so implementations use interior mutability for any bookkeeping.
+pub trait SegmentStore: Send + Sync {
+    /// Read one segment's payload. Errors are *attempt* outcomes — the
+    /// retry layer above decides whether to try again.
+    fn fetch(&self, key: SegmentKey) -> Result<SegmentRead, FetchError>;
+
+    /// Whether the store holds this segment at all (cheap existence probe;
+    /// faults do not apply).
+    fn contains(&self, key: SegmentKey) -> bool;
+
+    /// Every segment key the store holds, sorted.
+    fn keys(&self) -> Vec<SegmentKey>;
+}
+
+/// In-memory segment store: payload clones of an artifact's planes.
+///
+/// The zero-I/O backend for simulation and tests; wrap it in a
+/// [`crate::FaultInjector`] to model flaky tiers deterministically.
+#[derive(Debug, Clone)]
+pub struct MemStore {
+    segments: BTreeMap<SegmentKey, Vec<u8>>,
+}
+
+impl MemStore {
+    /// Hold every plane of `c`.
+    pub fn from_compressed(c: &Compressed) -> Self {
+        let mut segments = BTreeMap::new();
+        for (l, lvl) in c.levels().iter().enumerate() {
+            for k in 0..lvl.num_planes() {
+                segments.insert((l, k), lvl.plane_payload(k).to_vec());
+            }
+        }
+        MemStore { segments }
+    }
+
+    /// Remove segments, modelling permanent loss (e.g. a dead tier).
+    pub fn without(mut self, lost: &[SegmentKey]) -> Self {
+        for key in lost {
+            self.segments.remove(key);
+        }
+        self
+    }
+}
+
+impl SegmentStore for MemStore {
+    fn fetch(&self, key: SegmentKey) -> Result<SegmentRead, FetchError> {
+        match self.segments.get(&key) {
+            Some(bytes) => Ok(SegmentRead::clean(bytes.clone())),
+            None => Err(FetchError::Missing { level: key.0, plane: key.1 }),
+        }
+    }
+
+    fn contains(&self, key: SegmentKey) -> bool {
+        self.segments.contains_key(&key)
+    }
+
+    fn keys(&self) -> Vec<SegmentKey> {
+        self.segments.keys().copied().collect()
+    }
+}
+
+/// Per-segment file header magic for [`FileStore`].
+const SEG_MAGIC: &[u8; 6] = b"PMRS1\0";
+
+/// File-backed segment store: one file per segment in a directory, each
+/// carrying its own header (`"PMRS1\0"`, level, plane, length, FNV-1a
+/// checksum) so corruption of a file is detected at fetch time.
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    dir: PathBuf,
+    keys: Vec<SegmentKey>,
+}
+
+impl FileStore {
+    fn seg_path(dir: &Path, key: SegmentKey) -> PathBuf {
+        dir.join(format!("seg_{:03}_{:03}.pmrs", key.0, key.1))
+    }
+
+    /// Write every plane of `c` as segment files under `dir` (created if
+    /// absent) and open the resulting store.
+    pub fn write_from(c: &Compressed, dir: &Path) -> Result<Self, PmrError> {
+        fs::create_dir_all(dir).map_err(|e| PmrError::io_at(dir, e))?;
+        let mut keys = Vec::new();
+        for (l, lvl) in c.levels().iter().enumerate() {
+            for k in 0..lvl.num_planes() {
+                let payload = lvl.plane_payload(k);
+                let path = Self::seg_path(dir, (l, k));
+                let mut buf = Vec::with_capacity(payload.len() + 32);
+                buf.extend_from_slice(SEG_MAGIC);
+                buf.extend_from_slice(&(l as u32).to_le_bytes());
+                buf.extend_from_slice(&k.to_le_bytes());
+                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+                buf.extend_from_slice(payload);
+                let mut f = fs::File::create(&path).map_err(|e| PmrError::io_at(&path, e))?;
+                f.write_all(&buf).map_err(|e| PmrError::io_at(&path, e))?;
+                keys.push((l, k));
+            }
+        }
+        Ok(FileStore { dir: dir.to_path_buf(), keys })
+    }
+
+    /// Open an existing segment directory, indexing the files present.
+    pub fn open(dir: &Path) -> Result<Self, PmrError> {
+        let mut keys = Vec::new();
+        for entry in fs::read_dir(dir).map_err(|e| PmrError::io_at(dir, e))? {
+            let entry = entry.map_err(|e| PmrError::io_at(dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_prefix("seg_").and_then(|s| s.strip_suffix(".pmrs")) {
+                if let Some((l, k)) = stem.split_once('_') {
+                    if let (Ok(l), Ok(k)) = (l.parse::<usize>(), k.parse::<u32>()) {
+                        keys.push((l, k));
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        Ok(FileStore { dir: dir.to_path_buf(), keys })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl SegmentStore for FileStore {
+    fn fetch(&self, key: SegmentKey) -> Result<SegmentRead, FetchError> {
+        let (level, plane) = key;
+        let path = Self::seg_path(&self.dir, key);
+        let mut buf = Vec::new();
+        match fs::File::open(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(FetchError::Missing { level, plane });
+            }
+            Err(e) => {
+                return Err(FetchError::Io { level, plane, detail: e.to_string() });
+            }
+            Ok(mut f) => {
+                if let Err(e) = f.read_to_end(&mut buf) {
+                    return Err(FetchError::Io { level, plane, detail: e.to_string() });
+                }
+            }
+        }
+        let corrupt =
+            |detail: &str| FetchError::Corrupt { level, plane, detail: detail.to_string() };
+        if buf.len() < 26 || &buf[..6] != SEG_MAGIC {
+            return Err(corrupt("bad segment header"));
+        }
+        let hdr_level = u32::from_le_bytes(buf[6..10].try_into().expect("slice is 4 bytes"));
+        let hdr_plane = u32::from_le_bytes(buf[10..14].try_into().expect("slice is 4 bytes"));
+        if hdr_level as usize != level || hdr_plane != plane {
+            return Err(corrupt("segment header names a different (level, plane)"));
+        }
+        let len = u32::from_le_bytes(buf[14..18].try_into().expect("slice is 4 bytes")) as usize;
+        let sum = u64::from_le_bytes(buf[18..26].try_into().expect("slice is 8 bytes"));
+        let payload = &buf[26..];
+        if payload.len() != len {
+            return Err(corrupt(&format!(
+                "payload is {} bytes but the header claims {len}",
+                payload.len()
+            )));
+        }
+        if fnv1a64(payload) != sum {
+            return Err(corrupt("payload checksum mismatch"));
+        }
+        Ok(SegmentRead::clean(payload.to_vec()))
+    }
+
+    fn contains(&self, key: SegmentKey) -> bool {
+        self.keys.binary_search(&key).is_ok()
+    }
+
+    fn keys(&self) -> Vec<SegmentKey> {
+        self.keys.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_field::{Field, Shape};
+    use pmr_mgard::CompressConfig;
+
+    fn artifact() -> Compressed {
+        let field = Field::from_fn("seg", 0, Shape::cube(9), |x, y, _| {
+            ((x as f64) * 0.5).sin() + (y as f64) * 0.01
+        });
+        Compressed::compress(&field, &CompressConfig::default())
+    }
+
+    #[test]
+    fn mem_store_serves_every_plane() {
+        let c = artifact();
+        let store = MemStore::from_compressed(&c);
+        let expect: usize = c.levels().iter().map(|l| l.num_planes() as usize).sum();
+        assert_eq!(store.keys().len(), expect);
+        for (l, lvl) in c.levels().iter().enumerate() {
+            for k in 0..lvl.num_planes() {
+                let read = store.fetch((l, k)).unwrap();
+                assert_eq!(read.bytes, lvl.plane_payload(k));
+                assert_eq!(read.extra_latency_s, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_store_missing_segment_is_permanent() {
+        let c = artifact();
+        let store = MemStore::from_compressed(&c).without(&[(0, 0)]);
+        let err = store.fetch((0, 0)).unwrap_err();
+        assert!(err.is_permanent());
+        assert_eq!(err.key(), (0, 0));
+        assert!(!store.contains((0, 0)));
+        assert!(store.contains((0, 1)));
+    }
+
+    #[test]
+    fn file_store_roundtrips_and_reopens() {
+        let c = artifact();
+        let dir = std::env::temp_dir().join("pmr_segstore_test");
+        fs::remove_dir_all(&dir).ok();
+        let store = FileStore::write_from(&c, &dir).unwrap();
+        let reopened = FileStore::open(&dir).unwrap();
+        assert_eq!(store.keys(), reopened.keys());
+        for key in store.keys() {
+            let a = store.fetch(key).unwrap();
+            let b = reopened.fetch(key).unwrap();
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.bytes, c.levels()[key.0].plane_payload(key.1));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_detects_on_disk_corruption() {
+        let c = artifact();
+        let dir = std::env::temp_dir().join("pmr_segstore_corrupt_test");
+        fs::remove_dir_all(&dir).ok();
+        let store = FileStore::write_from(&c, &dir).unwrap();
+        let key = *store.keys().last().unwrap();
+        let path = FileStore::seg_path(&dir, key);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x40; // bit rot in the payload
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.fetch(key), Err(FetchError::Corrupt { .. })));
+        // Deleting the file is a permanent Missing, not Corrupt.
+        fs::remove_file(&path).unwrap();
+        assert!(store.fetch(key).unwrap_err().is_permanent());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,352 @@
+//! Fault-tolerant retrieval with honest error accounting.
+//!
+//! Progressive encoding is what makes graceful degradation possible: plane
+//! `k + 1` of a level only refines planes `0..k`, so when a segment is
+//! unrecoverable the level's already-fetched *prefix* is still a valid
+//! decode — the reader truncates there rather than failing the retrieval.
+//! The error contract is then re-established honestly: the theory
+//! estimator (a sound upper bound) is re-run on the planes actually held,
+//! and the result is reported as the *achievable* bound of a
+//! [`DegradedRetrieval`]. Optionally the reader re-plans, spending extra
+//! planes at surviving levels to claw back accuracy the lost segment took
+//! away (the capped greedy planner never asks past a dead level's prefix).
+
+use crate::fetch::{ExpectedSegment, FetchExecutor, FetchStats, RetryPolicy};
+use crate::segment::{SegmentKey, SegmentStore};
+use crate::{Placement, StorageHierarchy};
+use pmr_error::PmrError;
+use pmr_field::Field;
+use pmr_mgard::{greedy_plan_capped, Compressed, RetrievalPlan};
+
+/// Knobs of the tolerant reader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TolerantConfig {
+    /// Retry schedule for each segment.
+    pub policy: RetryPolicy,
+    /// After a loss, re-plan to fetch extra planes at surviving levels.
+    pub replan: bool,
+    /// How many re-plan rounds to attempt before settling.
+    pub max_replan_rounds: u32,
+}
+
+impl Default for TolerantConfig {
+    fn default() -> Self {
+        TolerantConfig { policy: RetryPolicy::default(), replan: true, max_replan_rounds: 2 }
+    }
+}
+
+/// The loss report attached to a retrieval that could not fetch its full
+/// plan. `achievable_bound` is the theory estimate over the planes actually
+/// decoded — sound, so the reconstruction is guaranteed to satisfy it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedRetrieval {
+    /// The error bound the caller asked for.
+    pub requested_bound: f64,
+    /// Sound bound over what was actually decoded (may still be within
+    /// `requested_bound` when re-planning compensated fully).
+    pub achievable_bound: f64,
+    /// Plane counts of the original plan.
+    pub requested_planes: Vec<u32>,
+    /// Plane counts actually fetched and decoded.
+    pub achieved_planes: Vec<u32>,
+    /// Segments abandoned as unrecoverable, in the order they were given up.
+    pub lost_segments: Vec<SegmentKey>,
+    /// Whether a compensating re-plan ran.
+    pub replanned: bool,
+}
+
+impl DegradedRetrieval {
+    /// Did compensation keep the retrieval within its original request?
+    pub fn bound_recovered(&self) -> bool {
+        self.achievable_bound <= self.requested_bound
+    }
+}
+
+/// A reconstruction from a fault-prone store, with full accounting.
+#[derive(Debug, Clone)]
+pub struct TolerantRetrieval {
+    pub field: Field,
+    /// Plane counts decoded per level.
+    pub planes: Vec<u32>,
+    /// Sound theory estimate for the decoded planes. This is the bound the
+    /// reconstruction is guaranteed to satisfy — degraded or not.
+    pub estimated_error: f64,
+    /// Fetch accounting (attempts, retries, wasted bytes, virtual time).
+    pub stats: FetchStats,
+    /// Present iff at least one segment was unrecoverable.
+    pub degraded: Option<DegradedRetrieval>,
+}
+
+impl TolerantRetrieval {
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+}
+
+/// Execute `plan` against `store` with retries, checksum verification, and
+/// graceful degradation. `requested_bound` is what the caller originally
+/// asked for — it parameterises the compensating re-plan and the degraded
+/// report. Pass a `(hierarchy, placement)` model to account virtual time
+/// and enforce per-tier deadlines.
+pub fn fetch_plan_tolerant(
+    manifest: &Compressed,
+    store: &dyn SegmentStore,
+    plan: &RetrievalPlan,
+    requested_bound: f64,
+    cfg: &TolerantConfig,
+    model: Option<(&StorageHierarchy, &Placement)>,
+) -> Result<TolerantRetrieval, PmrError> {
+    manifest.validate_plan(plan)?;
+    if !requested_bound.is_finite() || requested_bound < 0.0 {
+        return Err(PmrError::invalid_config(format!(
+            "requested bound must be finite and >= 0, got {requested_bound}"
+        )));
+    }
+    let mut exec = match model {
+        Some((h, p)) => FetchExecutor::with_model(store, cfg.policy.clone(), h, p)?,
+        None => FetchExecutor::new(store, cfg.policy.clone()),
+    };
+
+    let levels = manifest.levels();
+    let nl = levels.len();
+    let mut payloads: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nl];
+    // `caps[l]` shrinks to the achieved prefix length when level `l` loses
+    // a segment — no later round may ask past it.
+    let mut caps: Vec<u32> = levels.iter().map(|l| l.num_planes()).collect();
+    let mut target = plan.planes.clone();
+    let mut lost: Vec<SegmentKey> = Vec::new();
+    let mut replanned = false;
+
+    for round in 0..=cfg.max_replan_rounds {
+        for (l, lvl) in levels.iter().enumerate() {
+            while (payloads[l].len() as u32) < target[l].min(caps[l]) {
+                let k = payloads[l].len() as u32;
+                let expect = ExpectedSegment::of(lvl.plane_payload(k));
+                match exec.fetch_verified((l, k), expect) {
+                    Ok(bytes) => payloads[l].push(bytes),
+                    Err(_) => {
+                        // Unrecoverable: truncate this level's prefix here.
+                        lost.push((l, k));
+                        caps[l] = k;
+                        break;
+                    }
+                }
+            }
+        }
+        let all_met =
+            payloads.iter().zip(&target).zip(&caps).all(|((p, &t), &c)| p.len() as u32 >= t.min(c));
+        debug_assert!(all_met, "fetch loop drains every level to its capped target");
+        let any_capped_below_target = target.iter().zip(&caps).any(|(&t, &c)| c < t);
+        if !any_capped_below_target || !cfg.replan || round == cfg.max_replan_rounds {
+            break;
+        }
+        // Compensate: keep what we hold, never ask past a dead prefix, and
+        // spend extra planes at surviving levels to chase the bound.
+        let floor: Vec<u32> = payloads.iter().map(|p| p.len() as u32).collect();
+        let next =
+            greedy_plan_capped(levels, manifest.theory_constants(), requested_bound, &floor, &caps);
+        if next.planes == floor {
+            break; // nothing more the greedy can add
+        }
+        target = next.planes;
+        replanned = true;
+    }
+
+    let achieved: Vec<u32> = payloads.iter().map(|p| p.len() as u32).collect();
+    let field = manifest.retrieve_from_payloads(&payloads)?;
+    let estimated_error = manifest.estimate_for(&achieved);
+    let degraded = if lost.is_empty() {
+        None
+    } else {
+        Some(DegradedRetrieval {
+            requested_bound,
+            achievable_bound: estimated_error,
+            requested_planes: plan.planes.clone(),
+            achieved_planes: achieved.clone(),
+            lost_segments: lost,
+            replanned,
+        })
+    };
+    Ok(TolerantRetrieval {
+        field,
+        planes: achieved,
+        estimated_error,
+        stats: exec.stats().clone(),
+        degraded,
+    })
+}
+
+/// Plan with the theory estimator at `abs_bound`, then execute tolerantly.
+pub fn retrieve_tolerant(
+    manifest: &Compressed,
+    store: &dyn SegmentStore,
+    abs_bound: f64,
+    cfg: &TolerantConfig,
+    model: Option<(&StorageHierarchy, &Placement)>,
+) -> Result<TolerantRetrieval, PmrError> {
+    let plan = manifest.plan_theory(abs_bound);
+    fetch_plan_tolerant(manifest, store, &plan, abs_bound, cfg, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultInjector};
+    use crate::segment::MemStore;
+    use pmr_field::{error::max_abs_error, Shape};
+    use pmr_mgard::CompressConfig;
+
+    fn artifact() -> (Field, Compressed) {
+        let field = Field::from_fn("t", 0, Shape::cube(9), |x, y, z| {
+            ((x as f64) * 0.6).sin() + ((y as f64) * 0.4).cos() * 0.5 + (z as f64) * 0.02
+        });
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        (field, c)
+    }
+
+    #[test]
+    fn clean_store_matches_direct_retrieval() {
+        let (field, c) = artifact();
+        let store = MemStore::from_compressed(&c);
+        let bound = c.absolute_bound(1e-4);
+        let out = retrieve_tolerant(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
+        assert!(!out.is_degraded());
+        let direct = c.retrieve(&c.plan_theory(bound));
+        assert_eq!(out.field.data(), direct.data());
+        assert!(max_abs_error(field.data(), out.field.data()) <= bound);
+        assert_eq!(out.stats.retries, 0);
+    }
+
+    #[test]
+    fn flaky_but_recoverable_store_still_meets_bound() {
+        let (field, c) = artifact();
+        let cfg = FaultConfig { transient: 0.3, bit_flip: 0.2, ..FaultConfig::quiet(17) };
+        let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).unwrap();
+        let bound = c.absolute_bound(1e-4);
+        let tc = TolerantConfig {
+            policy: RetryPolicy { max_attempts: 64, ..RetryPolicy::default() },
+            ..TolerantConfig::default()
+        };
+        let out = retrieve_tolerant(&c, &inj, bound, &tc, None).unwrap();
+        assert!(!out.is_degraded(), "retryable faults must not degrade the result");
+        assert!(out.stats.retries > 0, "the schedule should have forced retries");
+        assert!(max_abs_error(field.data(), out.field.data()) <= bound);
+    }
+
+    #[test]
+    fn lost_segment_truncates_and_reports_honest_bound() {
+        let (field, c) = artifact();
+        let bound = c.absolute_bound(1e-5);
+        let plan = c.plan_theory(bound);
+        // Kill a mid-prefix plane of the last level: everything at and past
+        // it is unreachable there.
+        let l = c.num_levels() - 1;
+        let dead = (l, plan.planes[l].saturating_sub(2).max(1));
+        let store = MemStore::from_compressed(&c).without(&[dead]);
+        let tc = TolerantConfig { replan: false, ..TolerantConfig::default() };
+        let out = retrieve_tolerant(&c, &store, bound, &tc, None).unwrap();
+        let report = out.degraded.as_ref().expect("loss must produce a degraded report");
+        assert_eq!(report.lost_segments, vec![dead]);
+        assert_eq!(report.achieved_planes[l], dead.1, "prefix truncated at the loss");
+        assert!(!report.replanned);
+        // The honest achievable bound holds on the actual reconstruction.
+        let measured = max_abs_error(field.data(), out.field.data());
+        assert!(
+            measured <= report.achievable_bound,
+            "measured {measured} must be within reported {}",
+            report.achievable_bound
+        );
+        assert!(report.achievable_bound >= bound, "without re-plan the request is missed");
+    }
+
+    #[test]
+    fn replanning_compensates_at_surviving_levels() {
+        let (field, c) = artifact();
+        let bound = c.absolute_bound(1e-3);
+        let plan = c.plan_theory(bound);
+        // Kill plane 1 of level 0: the level is truncated to a single plane,
+        // deep enough below the plan that the bound is genuinely missed and
+        // compensation must kick in. Other levels survive untouched.
+        assert!(plan.planes[0] > 2, "plan must lean on level 0 for this bound");
+        let dead = (0usize, 1u32);
+        let store = MemStore::from_compressed(&c).without(&[dead]);
+        let out = retrieve_tolerant(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
+        let report = out.degraded.as_ref().expect("loss must be reported");
+        assert!(report.replanned, "default config should re-plan");
+        // Compensation fetched deeper planes at some surviving level.
+        let deeper = report
+            .achieved_planes
+            .iter()
+            .zip(&report.requested_planes)
+            .enumerate()
+            .any(|(l, (&a, &r))| l != 0 && a > r);
+        assert!(deeper, "re-plan should spend planes at surviving levels: {report:?}");
+        let measured = max_abs_error(field.data(), out.field.data());
+        assert!(measured <= report.achievable_bound);
+    }
+
+    #[test]
+    fn total_loss_of_a_level_still_decodes() {
+        let (field, c) = artifact();
+        let bound = c.absolute_bound(1e-4);
+        // Plane 0 of the finest level missing: that level contributes nothing.
+        let l = c.num_levels() - 1;
+        let store = MemStore::from_compressed(&c).without(&[(l, 0)]);
+        let out = retrieve_tolerant(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
+        let report = out.degraded.as_ref().unwrap();
+        assert_eq!(report.achieved_planes[l], 0);
+        let measured = max_abs_error(field.data(), out.field.data());
+        assert!(measured <= report.achievable_bound);
+    }
+
+    #[test]
+    fn mismatched_plan_is_invalid_config() {
+        let (_, c) = artifact();
+        let store = MemStore::from_compressed(&c);
+        let bad = RetrievalPlan::from_planes(vec![1; c.num_levels() + 1]);
+        let err = fetch_plan_tolerant(&c, &store, &bad, 0.1, &TolerantConfig::default(), None)
+            .unwrap_err();
+        assert!(matches!(err, PmrError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn same_seed_gives_identical_degraded_report() {
+        let (_, c) = artifact();
+        let bound = c.absolute_bound(1e-5);
+        let run = |seed: u64| {
+            let cfg = FaultConfig {
+                permanent: 0.08,
+                transient: 0.2,
+                bit_flip: 0.1,
+                ..FaultConfig::quiet(seed)
+            };
+            let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).unwrap();
+            let out = retrieve_tolerant(&c, &inj, bound, &TolerantConfig::default(), None).unwrap();
+            (out.planes.clone(), out.degraded.clone(), out.stats.clone(), inj.log())
+        };
+        let a = run(1234);
+        let b = run(1234);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "degraded reports must be bit-identical for one seed");
+        assert_eq!(a.2, b.2, "fetch stats must be bit-identical for one seed");
+        assert_eq!(a.3, b.3, "fault logs must be bit-identical for one seed");
+    }
+
+    #[test]
+    fn modelled_time_reported_for_degraded_runs() {
+        let (_, c) = artifact();
+        let h = StorageHierarchy::summit_like();
+        let p = Placement::coarse_fast(c.num_levels(), &h);
+        let cfg = FaultConfig { transient: 0.3, ..FaultConfig::quiet(5) };
+        let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).unwrap();
+        let out = retrieve_tolerant(
+            &c,
+            &inj,
+            c.absolute_bound(1e-4),
+            &TolerantConfig::default(),
+            Some((&h, &p)),
+        )
+        .unwrap();
+        assert!(out.stats.virtual_time_s > 0.0);
+    }
+}

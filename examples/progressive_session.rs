@@ -9,7 +9,7 @@
 use pmr::field::error::max_abs_error;
 use pmr::mgard::{persist, CompressConfig, Compressed, ProgressiveSession};
 use pmr::sim::{warpx_field, WarpXConfig, WarpXField};
-use pmr::storage::{optimize_placement, retrieval_cost, AccessProfile, StorageHierarchy};
+use pmr::storage::{retrieval_cost, try_optimize_placement, AccessProfile, StorageHierarchy};
 
 fn main() {
     let wcfg = WarpXConfig { size: 33, snapshots: 8, ..Default::default() };
@@ -49,7 +49,8 @@ fn main() {
     );
     let sizes: u64 = reopened.levels().iter().map(|l| l.total_size()).sum();
     let caps = vec![sizes / 3, sizes, u64::MAX, u64::MAX];
-    let placement = optimize_placement(&reopened, &profile, &hierarchy, &caps);
+    let placement = try_optimize_placement(&reopened, &profile, &hierarchy, &caps)
+        .expect("capacity vector matches the hierarchy");
     println!("\noptimised placement under a fast-tier capacity of {} bytes:", caps[0]);
     for l in 0..reopened.num_levels() {
         println!("  level_{l} -> {}", hierarchy.tiers()[placement.tier_of(l)].name);

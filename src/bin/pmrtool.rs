@@ -9,13 +9,14 @@
 //! pmrtool info <in.pmrc>
 //! pmrtool conformance [--grid quick|full] [--seed N] [--golden <dir>]
 //!                     [--regen-golden] [--golden-only] [--report <path>]
+//! pmrtool faultsim [--grid quick|full] [--seed N] [--report <path>]
 //! ```
 //!
 //! Field files use the `pmr-field` binary format (`.pmrf`); artifacts the
 //! `pmr-mgard` persistence format (`.pmrc`).
 
 use pmr::blockcodec::{persist as block_persist, BlockCompressed, BlockConfig};
-use pmr::conformance::{self, SweepConfig};
+use pmr::conformance::{self, FaultGridConfig, SweepConfig};
 use pmr::field::io as field_io;
 use pmr::mgard::{persist, CompressConfig, Compressed, TransformMode};
 use pmr::sim::{warpx_field, GrayScott, GrayScottConfig, GsSpecies, WarpXConfig, WarpXField};
@@ -44,6 +45,7 @@ const USAGE: &str = "usage:
   pmrtool info <in.pmrc>
   pmrtool conformance [--grid quick|full] [--seed N] [--golden <dir>]
                       [--regen-golden] [--golden-only] [--report <path>]
+  pmrtool faultsim [--grid quick|full] [--seed N] [--report <path>]
 
 artifact files are self-describing: retrieve/info dispatch on the magic
 (multilevel .pmrc vs block-codec .pmrb).";
@@ -55,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("retrieve") => retrieve(&args[1..]),
         Some("info") => info(&args[1..]),
         Some("conformance") => run_conformance(&args[1..]),
+        Some("faultsim") => run_faultsim(&args[1..]),
         _ => Err("missing or unknown subcommand".into()),
     }
 }
@@ -213,7 +216,7 @@ fn sniff_codec(path: &Path) -> Result<&'static str, String> {
     let mut f = std::fs::File::open(path).map_err(|e| e.to_string())?;
     std::io::Read::read_exact(&mut f, &mut buf).map_err(|e| e.to_string())?;
     match &buf {
-        b"PMRC1\0" => Ok("multilevel"),
+        b"PMRC1\0" | b"PMRC2\0" => Ok("multilevel"),
         b"PMRB1\0" => Ok("block"),
         _ => Err("unrecognised artifact magic".into()),
     }
@@ -319,6 +322,34 @@ fn run_conformance(args: &[String]) -> Result<(), String> {
             eprintln!("FAIL: {f}");
         }
         Err(format!("{} conformance check(s) failed", failures.len()))
+    }
+}
+
+fn run_faultsim(args: &[String]) -> Result<(), String> {
+    let grid_name = flag_value(args, "--grid")?.unwrap_or("quick");
+    let seed: u64 = match flag_value(args, "--seed")? {
+        Some(v) => parse(v, "--seed")?,
+        None => 0xFA_017,
+    };
+    let cfg = match grid_name {
+        "quick" => FaultGridConfig::quick(seed),
+        "full" => FaultGridConfig::full(seed),
+        other => return Err(format!("unknown grid {other} (quick|full)")),
+    };
+    let report = conformance::run_fault_grid(&cfg);
+    println!("{}", report.summary());
+    if let Some(path) = flag_value(args, "--report")? {
+        std::fs::write(path, conformance::fault_report_json(&report, grid_name, seed))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote report to {path}");
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        for f in &report.failures {
+            eprintln!("FAIL: {f}");
+        }
+        Err(format!("{} fault-injection check(s) failed", report.failures.len()))
     }
 }
 

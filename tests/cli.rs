@@ -240,3 +240,26 @@ fn conformance_verifies_checked_in_golden_artifacts() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("checksum"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn faultsim_runs_the_quick_grid_and_writes_a_report() {
+    let dir = tempdir("faultsim");
+    let report = dir.join("faults.json");
+    let out = pmrtool()
+        .args(["faultsim", "--grid", "quick", "--seed", "17", "--report"])
+        .arg(&report)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "faultsim failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fault grid:"), "missing summary line: {stdout}");
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.contains("\"grid\": \"quick\""), "{json}");
+    assert!(json.contains("\"passed\": true"), "fault grid reported failures: {json}");
+
+    // Unknown grid names are rejected cleanly.
+    let out = pmrtool().args(["faultsim", "--grid", "bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,120 @@
+//! Fault-tolerant retrieval end to end: file-backed segment stores under
+//! injected faults, on-disk corruption caught by checksums, and
+//! backward-compatible loading of pre-checksum (`PMRC1`) artifacts.
+
+use std::path::PathBuf;
+
+use pmr::field::{error::max_abs_error, Field, Shape};
+use pmr::mgard::{persist, CompressConfig, Compressed};
+use pmr::storage::{retrieve_tolerant, FaultConfig, FaultInjector, FileStore, TolerantConfig};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmr_fault_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn artifact() -> (Field, Compressed) {
+    let field = Field::from_fn("ridge", 0, Shape::d2(33, 21), |x, y, _| {
+        let u = x as f64 / 33.0 - 0.5;
+        let v = y as f64 / 21.0 - 0.5;
+        4.0 * u * u - 2.0 * v * v + 3.0 * u * v
+    });
+    let cfg = CompressConfig { levels: 4, num_planes: 24, ..Default::default() };
+    let c = Compressed::compress(&field, &cfg);
+    (field, c)
+}
+
+/// The reported-bound contract holds over a file-backed store wrapped in a
+/// seeded injector: clean runs satisfy the requested bound, degraded runs
+/// satisfy the honest re-estimated one.
+#[test]
+fn file_store_under_injected_faults_honours_reported_bound() {
+    let dir = tempdir("injected");
+    let (field, c) = artifact();
+    let store = FileStore::write_from(&c, &dir).expect("persist segments");
+    let cfg = TolerantConfig::default();
+    for seed in 0..4u64 {
+        let inj = FaultInjector::new(
+            FileStore::open(store.dir()).expect("reopen"),
+            FaultConfig::flaky(seed),
+        )
+        .expect("valid config");
+        let bound = c.absolute_bound(1e-3);
+        let out = retrieve_tolerant(&c, &inj, bound, &cfg, None).expect("no hard failure");
+        let measured = max_abs_error(field.data(), out.field.data());
+        match &out.degraded {
+            None => assert!(measured <= bound, "seed {seed}: {measured:e} > {bound:e}"),
+            Some(deg) => {
+                assert!(
+                    measured <= deg.achievable_bound,
+                    "seed {seed}: degraded bound dishonest: {measured:e} > {:e}",
+                    deg.achievable_bound
+                );
+                assert!(!deg.lost_segments.is_empty());
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Bit rot on disk (no injector involved): the per-segment checksum in the
+/// segment file catches the damage, the level's prefix is truncated at the
+/// corrupt plane, and the degraded report stays honest.
+#[test]
+fn on_disk_corruption_is_caught_and_degrades_honestly() {
+    let dir = tempdir("bitrot");
+    let (field, c) = artifact();
+    let store = FileStore::write_from(&c, &dir).expect("persist segments");
+    let bound = c.absolute_bound(1e-4);
+    let plan = c.plan_theory(bound);
+    assert!(plan.planes[0] > 2, "plan must want the plane we corrupt");
+
+    // Flip one payload byte of segment (level 0, plane 1) on disk.
+    let victim = dir.join("seg_000_001.pmrs");
+    let mut bytes = std::fs::read(&victim).expect("segment file present");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let out = retrieve_tolerant(&c, &store, bound, &TolerantConfig::default(), None)
+        .expect("corruption must degrade, not hard-fail");
+    let deg = out.degraded.as_ref().expect("unrecoverable corruption degrades the retrieval");
+    assert!(deg.lost_segments.contains(&(0, 1)), "lost: {:?}", deg.lost_segments);
+    assert!(out.planes[0] <= 1, "level 0 prefix must stop before the corrupt plane");
+    assert!(out.stats.corruptions > 0, "checksum mismatches must be counted");
+    let measured = max_abs_error(field.data(), out.field.data());
+    assert!(
+        measured <= deg.achievable_bound,
+        "degraded bound dishonest: {measured:e} > {:e}",
+        deg.achievable_bound
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Pre-checksum (`PMRC1`) blobs written before this release still load —
+/// the checked-in legacy golden is the proof — and re-serialising with the
+/// legacy writer reproduces it byte-for-byte.
+#[test]
+fn legacy_v1_golden_artifact_still_loads() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/poly-1d.legacy-v1.pmr");
+    let blob = std::fs::read(&path).expect("legacy fixture checked in");
+    assert_eq!(&blob[..6], b"PMRC1\0");
+
+    let c = persist::from_bytes(&blob).expect("v1 blob must keep loading");
+    assert_eq!(c.name(), "poly-1d");
+    assert_eq!(persist::to_bytes_legacy_v1(&c), blob, "legacy writer must reproduce the fixture");
+
+    // The current writer upgrades it to a checksummed v2 blob that also
+    // round-trips.
+    let v2 = persist::to_bytes(&c);
+    assert_eq!(&v2[..6], b"PMRC2\0");
+    assert!(v2.len() > blob.len(), "v2 adds the checksum table");
+    let reparsed = persist::from_bytes(&v2).expect("v2 round-trip");
+    assert_eq!(persist::to_bytes(&reparsed), v2);
+
+    // And the decoded artifact still honours the theory contract.
+    let bound = c.absolute_bound(1e-3);
+    let plan = c.plan_theory(bound);
+    assert!(plan.estimated_error <= bound);
+}
