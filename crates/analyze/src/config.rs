@@ -1,0 +1,250 @@
+//! `analyze.toml` — lint scoping and the violation allowlist.
+//!
+//! The workspace builds offline with no TOML dependency, so this module
+//! parses exactly the subset the config uses: `[section]` headers,
+//! `[[allow]]` array-of-table headers, `key = "string"` and
+//! `key = ["a", "b"]` assignments, and `#` comments. Anything else is a
+//! hard error — a config that silently half-parses would silently un-gate
+//! lints.
+
+use pmr_error::PmrError;
+use std::path::Path;
+
+/// One allowlist entry: suppress `lint` in files under `path`, with a
+/// mandatory human justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub lint: String,
+    /// Workspace-relative path prefix (a file or a directory).
+    pub path: String,
+    pub reason: String,
+}
+
+/// Scoping and allowlist for one analysis run.
+///
+/// Path fields are workspace-relative prefixes; a file is in scope for a
+/// lint when its path starts with any of the lint's prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeConfig {
+    /// L1 `panic_path`: library code that must route failures through
+    /// `PmrError` instead of panicking.
+    pub panic_paths: Vec<String>,
+    /// L3 `lossy_cast`: crates whose integer arithmetic feeds persisted
+    /// artifacts and must use checked conversions.
+    pub cast_paths: Vec<String>,
+    /// L4 `nondeterminism`: code that produces artifacts, plans, or fault
+    /// schedules and must be bit-reproducible.
+    pub nondet_paths: Vec<String>,
+    /// Violations accepted with a written justification.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            panic_paths: vec![
+                "crates/codec/src".into(),
+                "crates/mgard/src".into(),
+                "crates/storage/src".into(),
+                "crates/blockcodec/src".into(),
+                "crates/core/src".into(),
+            ],
+            cast_paths: vec![
+                "crates/codec/src".into(),
+                "crates/mgard/src".into(),
+                "crates/storage/src".into(),
+            ],
+            nondet_paths: vec![
+                "crates/codec/src".into(),
+                "crates/mgard/src".into(),
+                "crates/storage/src".into(),
+                "crates/blockcodec/src".into(),
+                "crates/core/src".into(),
+                "crates/conformance/src".into(),
+            ],
+            allow: Vec::new(),
+        }
+    }
+}
+
+impl AnalyzeConfig {
+    /// Parse the `analyze.toml` subset. Unknown sections or keys are errors.
+    pub fn parse(text: &str) -> Result<AnalyzeConfig, PmrError> {
+        let mut cfg = AnalyzeConfig::default();
+        let mut section = String::new();
+        let mut pending_allow: Option<AllowEntry> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| {
+                PmrError::malformed("analyze.toml", format!("line {}: {msg}", lineno + 1))
+            };
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                if header.trim() != "allow" {
+                    return Err(err(format!("unknown array-of-tables [[{header}]]")));
+                }
+                if let Some(entry) = pending_allow.take() {
+                    cfg.push_allow(entry)?;
+                }
+                pending_allow = Some(AllowEntry {
+                    lint: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                });
+                section = "allow".into();
+            } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                if let Some(entry) = pending_allow.take() {
+                    cfg.push_allow(entry)?;
+                }
+                section = header.trim().to_string();
+                match section.as_str() {
+                    "lints.panic_path" | "lints.lossy_cast" | "lints.nondeterminism" => {}
+                    other => return Err(err(format!("unknown section [{other}]"))),
+                }
+            } else if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim();
+                let value = value.trim();
+                match (section.as_str(), key) {
+                    ("lints.panic_path", "paths") => cfg.panic_paths = parse_list(value, &err)?,
+                    ("lints.lossy_cast", "paths") => cfg.cast_paths = parse_list(value, &err)?,
+                    ("lints.nondeterminism", "paths") => {
+                        cfg.nondet_paths = parse_list(value, &err)?
+                    }
+                    ("allow", "lint") => {
+                        entry_mut(&mut pending_allow, &err)?.lint = parse_str(value, &err)?
+                    }
+                    ("allow", "path") => {
+                        entry_mut(&mut pending_allow, &err)?.path = parse_str(value, &err)?
+                    }
+                    ("allow", "reason") => {
+                        entry_mut(&mut pending_allow, &err)?.reason = parse_str(value, &err)?
+                    }
+                    (s, k) => return Err(err(format!("unknown key {k} in section [{s}]"))),
+                }
+            } else {
+                return Err(err(format!("unparseable line: {line}")));
+            }
+        }
+        if let Some(entry) = pending_allow.take() {
+            cfg.push_allow(entry)?;
+        }
+        Ok(cfg)
+    }
+
+    /// Load from a file; a missing file yields the built-in defaults.
+    pub fn load(path: &Path) -> Result<AnalyzeConfig, PmrError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(AnalyzeConfig::default()),
+            Err(e) => Err(PmrError::io_at(path, e)),
+        }
+    }
+
+    fn push_allow(&mut self, entry: AllowEntry) -> Result<(), PmrError> {
+        if entry.lint.is_empty() || entry.path.is_empty() {
+            return Err(PmrError::malformed(
+                "analyze.toml",
+                "[[allow]] entry needs both `lint` and `path`",
+            ));
+        }
+        if entry.reason.trim().is_empty() {
+            return Err(PmrError::malformed(
+                "analyze.toml",
+                format!(
+                    "[[allow]] entry for {} at {} has no `reason`: every suppression \
+                     must carry a written justification",
+                    entry.lint, entry.path
+                ),
+            ));
+        }
+        self.allow.push(entry);
+        Ok(())
+    }
+}
+
+fn entry_mut<'a>(
+    pending: &'a mut Option<AllowEntry>,
+    err: &dyn Fn(String) -> PmrError,
+) -> Result<&'a mut AllowEntry, PmrError> {
+    pending.as_mut().ok_or_else(|| err("allow key outside [[allow]] table".into()))
+}
+
+/// Drop a trailing `# comment`, respecting `"` string boundaries.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_str(value: &str, err: &dyn Fn(String) -> PmrError) -> Result<String, PmrError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| err(format!("expected quoted string, got {value}")))
+}
+
+fn parse_list(value: &str, err: &dyn Fn(String) -> PmrError) -> Result<Vec<String>, PmrError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| err(format!("expected [\"…\", …] list, got {value}")))?;
+    inner.split(',').map(str::trim).filter(|s| !s.is_empty()).map(|s| parse_str(s, err)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = AnalyzeConfig::parse(
+            r#"
+# comment
+[lints.panic_path]
+paths = ["crates/a/src", "src"]
+
+[lints.lossy_cast]
+paths = ["crates/a/src"]
+
+[[allow]]
+lint = "send_sync_impl"
+path = "crates/a/src/exec.rs"
+reason = "disjoint line scatter, audited 2026-08"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.panic_paths, vec!["crates/a/src".to_string(), "src".to_string()]);
+        assert_eq!(cfg.cast_paths, vec!["crates/a/src".to_string()]);
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].lint, "send_sync_impl");
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let e = AnalyzeConfig::parse("[[allow]]\nlint = \"x\"\npath = \"y\"\n").unwrap_err();
+        assert!(e.to_string().contains("reason"), "{e}");
+    }
+
+    #[test]
+    fn unknown_section_is_rejected() {
+        assert!(AnalyzeConfig::parse("[lints.bogus]\npaths = []\n").is_err());
+        assert!(AnalyzeConfig::parse("[lints.panic_path]\nbogus = \"x\"\n").is_err());
+        assert!(AnalyzeConfig::parse("just text\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_yields_defaults() {
+        let cfg = AnalyzeConfig::load(Path::new("/nonexistent/analyze.toml")).unwrap();
+        assert_eq!(cfg, AnalyzeConfig::default());
+        assert!(cfg.allow.is_empty());
+    }
+}

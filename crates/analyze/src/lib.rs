@@ -1,0 +1,127 @@
+//! `pmr-analyze` — workspace-wide static analysis for the error contract.
+//!
+//! The paper's value proposition is a *guarantee*: retrieval promises the
+//! reconstruction error stays under the user's bound. `pmr-conformance`
+//! checks that guarantee dynamically and `pmr-storage`'s fault machinery
+//! keeps it honest under I/O failure; this crate is the static layer that
+//! keeps whole classes of contract-breaking bugs from landing at all —
+//! panics mid-retrieval, undocumented `unsafe`, silently wrapping casts in
+//! the codec, and nondeterminism in anything that produces artifacts.
+//!
+//! Run it as `pmrtool analyze [--report out.json]`; it exits nonzero when
+//! any unallowlisted violation exists. Scoping and the allowlist live in
+//! `analyze.toml` at the workspace root (see [`config::AnalyzeConfig`]);
+//! the lint catalogue is documented on [`lints`].
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+pub use config::{AllowEntry, AnalyzeConfig};
+pub use report::{Allowed, Report, Violation};
+
+use pmr_error::PmrError;
+use std::path::{Path, PathBuf};
+
+/// Lint a set of in-memory sources. The unit the fixture tests drive.
+pub fn analyze_sources<'a>(
+    sources: impl IntoIterator<Item = (&'a str, &'a str)>,
+    cfg: &AnalyzeConfig,
+) -> Report {
+    let mut report = Report::default();
+    for (rel_path, src) in sources {
+        let findings = lints::lint_file(rel_path, src, cfg);
+        report.files_scanned += 1;
+        report.violations.extend(findings.violations);
+        report.allowed.extend(findings.allowed);
+    }
+    report.finalize();
+    report
+}
+
+/// Lint every Rust source of the workspace at `root`: `src/` and each
+/// `crates/*/src/` tree. Test, bench, and example trees are out of scope by
+/// construction — the lints guard *library* code on the data path.
+pub fn analyze_workspace(root: &Path, cfg: &AnalyzeConfig) -> Result<Report, PmrError> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for member in sorted_dir(&crates_dir)? {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let src = std::fs::read_to_string(&path).map_err(|e| PmrError::io_at(&path, e))?;
+        let rel = rel_slash(root, &path);
+        let findings = lints::lint_file(&rel, &src, cfg);
+        report.files_scanned += 1;
+        report.violations.extend(findings.violations);
+        report.allowed.extend(findings.allowed);
+    }
+    report.finalize();
+    Ok(report)
+}
+
+/// Recursively collect `.rs` files under `dir` (missing dirs are fine).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), PmrError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in sorted_dir(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Directory entries in deterministic (sorted) order.
+fn sorted_dir(dir: &Path) -> Result<Vec<PathBuf>, PmrError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| PmrError::io_at(dir, e))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        entries.push(entry.map_err(|e| PmrError::io_at(dir, e))?.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Workspace-relative path with forward slashes (report paths must not
+/// depend on the host OS).
+fn rel_slash(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_sources_aggregates_and_sorts() {
+        let cfg = AnalyzeConfig {
+            panic_paths: vec!["crates".into()],
+            cast_paths: vec![],
+            nondet_paths: vec![],
+            allow: vec![],
+        };
+        let report = analyze_sources(
+            [
+                ("crates/b/src/lib.rs", "fn f(x: Option<u8>) { x.unwrap(); }"),
+                ("crates/a/src/lib.rs", "fn g() { panic!(\"boom\"); }"),
+            ],
+            &cfg,
+        );
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.violations[0].file, "crates/a/src/lib.rs");
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,498 @@
+//! The four domain lints.
+//!
+//! All four protect the same thing: the retriever's *error-bound contract*.
+//! A panic mid-retrieval, a data race in the parallel transforms, a wrapped
+//! plane-length cast, or a nondeterministic fault schedule are not style
+//! problems — each one lets the system hand back data whose claimed bound
+//! is silently wrong. The lints are lexical (see [`crate::lexer`]) and
+//! deliberately conservative: they flag *forms*, and every accepted
+//! occurrence must carry a written justification, either inline
+//! (`// lint:allow(<id>): reason`) or in `analyze.toml`.
+//!
+//! | id | scope | rule |
+//! |----|-------|------|
+//! | `panic_path` | compress/retrieve/fetch paths | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code; failures must surface as `PmrError`. Contract `assert!`s on caller invariants are permitted. |
+//! | `unsafe_safety` | whole workspace | every `unsafe` carries a `// SAFETY:` comment within the three lines above it |
+//! | `send_sync_impl` | whole workspace | `unsafe impl Send`/`Sync` only in files registered in the allowlist (inline waivers are *not* accepted) |
+//! | `lossy_cast` | codec/mgard/storage | no `as` casts to narrow integers and no evident float→int `as` casts; use `try_from`/checked helpers |
+//! | `nondeterminism` | artifact-producing code | no `SystemTime::now`/`Instant::now`/`thread_rng`/`from_entropy`, no `HashMap`/`HashSet` (iteration order feeds persisted output) |
+
+use crate::config::AnalyzeConfig;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::{Allowed, Violation};
+
+/// Lint identifiers, in report order.
+pub const LINT_IDS: [&str; 5] =
+    ["panic_path", "unsafe_safety", "send_sync_impl", "lossy_cast", "nondeterminism"];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+const WIDE_INTS: [&str; 6] = ["u64", "i64", "u128", "i128", "usize", "isize"];
+const FLOAT_TO_INT_FNS: [&str; 4] = ["round", "floor", "ceil", "trunc"];
+
+/// Outcome of linting one file: hard violations plus suppressed-but-audited
+/// occurrences.
+#[derive(Debug, Default)]
+pub struct FileFindings {
+    pub violations: Vec<Violation>,
+    pub allowed: Vec<Allowed>,
+}
+
+/// Run every applicable lint on one file. `rel_path` uses forward slashes
+/// and is workspace-relative; scoping and the allowlist match against it.
+pub fn lint_file(rel_path: &str, src: &str, cfg: &AnalyzeConfig) -> FileFindings {
+    let toks = lex(src);
+    let test_mask = test_region_mask(&toks);
+    let waivers = collect_waivers(&toks);
+    let safety_lines: Vec<usize> = toks
+        .iter()
+        .filter(|t| !t.is_code() && t.text.contains("SAFETY:"))
+        .map(|t| t.line)
+        .collect();
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: usize| -> String {
+        lines.get(line.saturating_sub(1)).map_or(String::new(), |l| l.trim().to_string())
+    };
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let in_scope = |paths: &[String]| paths.iter().any(|p| rel_path.starts_with(p.as_str()));
+
+    let code: Vec<(usize, &Tok)> = toks.iter().enumerate().filter(|(_, t)| t.is_code()).collect();
+    // `next`/`prev` in code-token space; `ci` indexes into `code`.
+    for ci in 0..code.len() {
+        let (ti, t) = code[ci];
+        if test_mask[ti] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = |k: usize| code.get(ci + k).map(|&(_, t)| t);
+        let prev = |k: usize| ci.checked_sub(k).map(|i| code[i].1);
+
+        // L1 — panic-capable calls on the compress/retrieve/fetch paths.
+        if in_scope(&cfg.panic_paths) {
+            if PANIC_MACROS.contains(&t.text.as_str()) && next(1).is_some_and(|n| n.is_punct('!')) {
+                raw.push(Violation {
+                    lint: "panic_path",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}!` in library code on an error-contract path; return `PmrError` instead",
+                        t.text
+                    ),
+                    snippet: snippet(t.line),
+                });
+            }
+            if matches!(t.text.as_str(), "unwrap" | "expect")
+                && prev(1).is_some_and(|p| p.is_punct('.'))
+                && next(1).is_some_and(|n| n.is_punct('('))
+            {
+                raw.push(Violation {
+                    lint: "panic_path",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` can panic mid-retrieval; route the failure through `PmrError`",
+                        t.text
+                    ),
+                    snippet: snippet(t.line),
+                });
+            }
+        }
+
+        // L2 — unsafe audit (whole workspace).
+        if t.text == "unsafe" {
+            let documented =
+                safety_lines.iter().any(|&l| l <= t.line && t.line.saturating_sub(l) <= 3);
+            if !documented {
+                raw.push(Violation {
+                    lint: "unsafe_safety",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: "`unsafe` without a `// SAFETY:` comment in the 3 lines above it"
+                        .to_string(),
+                    snippet: snippet(t.line),
+                });
+            }
+            if next(1).is_some_and(|n| n.is_ident("impl")) {
+                let trait_name = (2..40)
+                    .map_while(&next)
+                    .take_while(|n| !n.is_punct('{') && !n.is_ident("for"))
+                    .find(|n| n.is_ident("Send") || n.is_ident("Sync"))
+                    .map(|n| n.text.clone());
+                if let Some(name) = trait_name {
+                    raw.push(Violation {
+                        lint: "send_sync_impl",
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "`unsafe impl {name}` asserts thread safety the compiler cannot \
+                             check; the file must be registered in the analyze.toml allowlist \
+                             with a justification"
+                        ),
+                        snippet: snippet(t.line),
+                    });
+                }
+            }
+        }
+
+        // L3 — lossy casts in the codec/artifact crates.
+        if t.text == "as" && in_scope(&cfg.cast_paths) {
+            if let Some(target) = next(1).filter(|n| n.kind == TokKind::Ident) {
+                let narrow = NARROW_INTS.contains(&target.text.as_str());
+                let wide = WIDE_INTS.contains(&target.text.as_str());
+                if narrow || wide {
+                    let float_src = cast_source_is_float(&code, ci);
+                    if narrow || float_src {
+                        let kind = if float_src {
+                            "float→int `as` cast saturates and drops fractions silently"
+                        } else {
+                            "integer `as` cast to a narrower type wraps silently"
+                        };
+                        raw.push(Violation {
+                            lint: "lossy_cast",
+                            file: rel_path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "{kind}; use `try_from`/checked conversion (cast to `{}`)",
+                                target.text
+                            ),
+                            snippet: snippet(t.line),
+                        });
+                    }
+                }
+            }
+        }
+
+        // L4 — nondeterminism sources in artifact-producing code.
+        if in_scope(&cfg.nondet_paths) {
+            let clock = matches!(t.text.as_str(), "SystemTime" | "Instant")
+                && next(1).is_some_and(|n| n.is_punct(':'))
+                && next(2).is_some_and(|n| n.is_punct(':'))
+                && next(3).is_some_and(|n| n.is_ident("now"));
+            let rng = matches!(t.text.as_str(), "thread_rng" | "from_entropy");
+            let hash = matches!(t.text.as_str(), "HashMap" | "HashSet");
+            if clock || rng || hash {
+                let what = if clock {
+                    format!("`{}::now()` makes artifacts differ run to run", t.text)
+                } else if rng {
+                    format!("`{}` seeds from the OS; use an explicit seed", t.text)
+                } else {
+                    format!(
+                        "`{}` iteration order is nondeterministic; use `BTreeMap`/`Vec` \
+                         where order can reach persisted output",
+                        t.text
+                    )
+                };
+                raw.push(Violation {
+                    lint: "nondeterminism",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: what,
+                    snippet: snippet(t.line),
+                });
+            }
+        }
+    }
+
+    // Split raw findings into violations vs. justified suppressions.
+    let mut out = FileFindings::default();
+    'next_violation: for v in raw {
+        for entry in &cfg.allow {
+            if entry.lint == v.lint && rel_path.starts_with(entry.path.as_str()) {
+                out.allowed.push(Allowed { violation: v, reason: entry.reason.clone() });
+                continue 'next_violation;
+            }
+        }
+        // Inline waivers never excuse a Send/Sync impl: those must be
+        // centrally registered so the whole unsafe surface is in one file.
+        if v.lint != "send_sync_impl" {
+            if let Some(reason) = waivers.iter().find_map(|w| {
+                (w.lints.iter().any(|l| l == v.lint) && (w.line == v.line || w.line + 1 == v.line))
+                    .then(|| w.reason.clone())
+            }) {
+                out.allowed.push(Allowed { violation: v, reason });
+                continue 'next_violation;
+            }
+        }
+        out.violations.push(v);
+    }
+    out
+}
+
+/// Does the `as` at code index `ci` cast an evidently-float expression?
+/// Recognizes a float literal (`1.5 as i64`) and a trailing
+/// `.round()/.floor()/.ceil()/.trunc()` call chain.
+fn cast_source_is_float(code: &[(usize, &Tok)], ci: usize) -> bool {
+    let Some(i) = ci.checked_sub(1) else { return false };
+    let prev = code[i].1;
+    if prev.kind == TokKind::Num {
+        let t = &prev.text;
+        return t.contains('.') || t.ends_with("f32") || t.ends_with("f64");
+    }
+    if prev.is_punct(')') {
+        // Walk back over the argument list to the matching `(`.
+        let mut depth = 0usize;
+        let mut j = i;
+        loop {
+            let t = code[j].1;
+            if t.is_punct(')') {
+                depth += 1;
+            } else if t.is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            let Some(nj) = j.checked_sub(1) else { return false };
+            j = nj;
+        }
+        // `<expr>.round( … ) as` — ident directly before the `(`.
+        if let Some(k) = j.checked_sub(1) {
+            return FLOAT_TO_INT_FNS.contains(&code[k].1.text.as_str())
+                && k.checked_sub(1).is_some_and(|d| code[d].1.is_punct('.'));
+        }
+    }
+    false
+}
+
+/// An inline waiver parsed from a comment: `// lint:allow(a, b): reason`.
+/// Covers findings on the comment's own line and the line below it.
+struct Waiver {
+    line: usize,
+    lints: Vec<String>,
+    reason: String,
+}
+
+fn collect_waivers(toks: &[Tok]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.is_code() {
+            continue;
+        }
+        let Some(pos) = t.text.find("lint:allow(") else { continue };
+        let rest = &t.text[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let lints: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let reason = rest[close + 1..]
+            .trim_start_matches([':', '-', '—', ' '])
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        // A waiver with no reason is no waiver: the violation stays.
+        if !lints.is_empty() && !reason.is_empty() {
+            out.push(Waiver { line: t.line, lints, reason });
+        }
+    }
+    out
+}
+
+/// Token mask marking test-only regions: the braced body (and attributes) of
+/// any item annotated `#[cfg(test)]`, `#[cfg(any(test, …))]`, or `#[test]`.
+/// `#[cfg(not(test))]` guards production code and is *not* masked.
+fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+    let mut c = 0usize;
+    while c < code.len() {
+        if toks[code[c]].is_punct('#') && code.get(c + 1).is_some_and(|&i| toks[i].is_punct('[')) {
+            // Scan the attribute to its matching `]`.
+            let mut depth = 0usize;
+            let mut idents: Vec<&str> = Vec::new();
+            let mut end = c + 1;
+            for (k, &ti) in code.iter().enumerate().skip(c + 1) {
+                let t = &toks[ti];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                } else if t.kind == TokKind::Ident {
+                    idents.push(&t.text);
+                }
+            }
+            let is_test_attr = idents.contains(&"test")
+                && !idents.contains(&"not")
+                && (idents[0] == "cfg" || idents == ["test"]);
+            if is_test_attr {
+                // Mark from the attribute through the end of the annotated
+                // item: its braced body, or the trailing `;` for bodyless
+                // items (`mod tests;`).
+                let mut brace_depth = 0usize;
+                let mut k = end + 1;
+                while k < code.len() {
+                    let t = &toks[code[k]];
+                    if t.is_punct('{') {
+                        brace_depth += 1;
+                    } else if t.is_punct('}') {
+                        brace_depth -= 1;
+                        if brace_depth == 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && brace_depth == 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                let from = code[c];
+                let to = code.get(k).copied().unwrap_or(toks.len() - 1);
+                for m in &mut mask[from..=to] {
+                    *m = true;
+                }
+                c = k + 1;
+                continue;
+            }
+            c = end + 1;
+            continue;
+        }
+        c += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all() -> AnalyzeConfig {
+        AnalyzeConfig {
+            panic_paths: vec![String::new()],
+            cast_paths: vec![String::new()],
+            nondet_paths: vec![String::new()],
+            allow: Vec::new(),
+        }
+    }
+
+    fn lints_of(src: &str) -> Vec<&'static str> {
+        lint_file("crates/x/src/lib.rs", src, &cfg_all())
+            .violations
+            .iter()
+            .map(|v| v.lint)
+            .collect()
+    }
+
+    #[test]
+    fn panic_forms_fire() {
+        assert_eq!(lints_of("fn f(x: Option<u8>) { x.unwrap(); }"), vec!["panic_path"]);
+        assert_eq!(lints_of("fn f() { panic!(\"boom\"); }"), vec!["panic_path"]);
+        assert_eq!(lints_of("fn f(x: Option<u8>) { x.expect(\"y\"); }"), vec!["panic_path"]);
+        // Non-panicking relatives do not fire.
+        assert!(lints_of("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); panic!(); }\n}\n";
+        assert!(lints_of(src).is_empty());
+        let src = "#[test]\nfn t() { x.unwrap(); }\n";
+        assert!(lints_of(src).is_empty());
+        // #[cfg(not(test))] guards production code: still linted.
+        let src = "#[cfg(not(test))]\nfn g() { x.unwrap(); }\n";
+        assert_eq!(lints_of(src), vec!["panic_path"]);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        assert_eq!(lints_of("fn f() { unsafe { g() } }"), vec!["unsafe_safety"]);
+        let ok = "fn f() {\n // SAFETY: g has no preconditions\n unsafe { g() } }";
+        assert!(lints_of(ok).is_empty());
+        // Comment too far above does not count.
+        let far = "// SAFETY: stale\n\n\n\n\nfn f() { unsafe { g() } }";
+        assert_eq!(lints_of(far), vec!["unsafe_safety"]);
+    }
+
+    #[test]
+    fn send_sync_impl_needs_allowlist() {
+        let src = "// SAFETY: disjoint writes\nunsafe impl Send for P {}";
+        assert_eq!(lints_of(src), vec!["send_sync_impl"]);
+        // Inline waivers are refused for this lint.
+        let waived = "// SAFETY: x\n// lint:allow(send_sync_impl): nope\nunsafe impl Sync for P {}";
+        assert_eq!(lints_of(waived), vec!["send_sync_impl"]);
+        // Other unsafe impls (e.g. of an unsafe trait) pass.
+        let other = "// SAFETY: contract upheld\nunsafe impl Searcher for P {}";
+        assert!(lints_of(other).is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_fire_and_wide_lossless_do_not() {
+        assert_eq!(lints_of("fn f(x: u64) -> u32 { x as u32 }"), vec!["lossy_cast"]);
+        assert_eq!(lints_of("fn f(x: f64) -> i64 { x.round() as i64 }"), vec!["lossy_cast"]);
+        assert_eq!(lints_of("fn f() -> i64 { 1.5 as i64 }"), vec!["lossy_cast"]);
+        // Widening and same-width casts to 64-bit/usize are not flagged.
+        assert!(lints_of("fn f(x: u32) -> u64 { x as u64 }").is_empty());
+        assert!(lints_of("fn f(x: u32) -> usize { x as usize }").is_empty());
+        // Casts to float are fine.
+        assert!(lints_of("fn f(x: usize) -> f64 { x as f64 }").is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_sources_fire() {
+        assert_eq!(lints_of("fn f() { let t = SystemTime::now(); }"), vec!["nondeterminism"]);
+        assert_eq!(lints_of("fn f() { let r = thread_rng(); }"), vec!["nondeterminism"]);
+        assert_eq!(lints_of("use std::collections::HashMap;"), vec!["nondeterminism"]);
+        // Deterministic relatives pass.
+        assert!(lints_of("use std::collections::BTreeMap;").is_empty());
+        // Instant without ::now (e.g. a type in a signature) passes.
+        assert!(lints_of("fn f(t: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn inline_waiver_with_reason_suppresses() {
+        let src = "// lint:allow(lossy_cast): k < 64 planes by construction\nfn f(k: usize) -> u32 { k as u32 }";
+        let f = lint_file("crates/x/src/lib.rs", src, &cfg_all());
+        assert!(f.violations.is_empty());
+        assert_eq!(f.allowed.len(), 1);
+        assert_eq!(f.allowed[0].reason, "k < 64 planes by construction");
+        // Same-line waiver works too.
+        let src = "fn f(k: usize) -> u32 { k as u32 } // lint:allow(lossy_cast): bounded";
+        assert!(lint_file("crates/x/src/lib.rs", src, &cfg_all()).violations.is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_ignored() {
+        let src = "// lint:allow(lossy_cast)\nfn f(k: usize) -> u32 { k as u32 }";
+        let f = lint_file("crates/x/src/lib.rs", src, &cfg_all());
+        assert_eq!(f.violations.len(), 1);
+    }
+
+    #[test]
+    fn allowlist_entry_suppresses_send_sync() {
+        let mut cfg = cfg_all();
+        cfg.allow.push(crate::config::AllowEntry {
+            lint: "send_sync_impl".into(),
+            path: "crates/x/src".into(),
+            reason: "audited: disjoint element scatter".into(),
+        });
+        let src = "// SAFETY: disjoint\nunsafe impl Send for P {}";
+        let f = lint_file("crates/x/src/lib.rs", src, &cfg);
+        assert!(f.violations.is_empty());
+        assert_eq!(f.allowed.len(), 1);
+    }
+
+    #[test]
+    fn scoping_limits_lints_to_their_paths() {
+        let cfg = AnalyzeConfig {
+            panic_paths: vec!["crates/hot".into()],
+            cast_paths: vec!["crates/hot".into()],
+            nondet_paths: vec!["crates/hot".into()],
+            allow: Vec::new(),
+        };
+        let src = "fn f(x: Option<u8>, y: u64) { x.unwrap(); let _ = y as u32; }";
+        assert!(lint_file("crates/cold/src/lib.rs", src, &cfg).violations.is_empty());
+        assert_eq!(lint_file("crates/hot/src/lib.rs", src, &cfg).violations.len(), 2);
+        // unsafe_safety is workspace-wide regardless of scoping.
+        let u = "fn f() { unsafe { g() } }";
+        assert_eq!(lint_file("crates/cold/src/lib.rs", u, &cfg).violations.len(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r#"fn f() { let s = "x.unwrap() panic! HashMap"; } // x.unwrap()"#;
+        assert!(lints_of(src).is_empty());
+    }
+}

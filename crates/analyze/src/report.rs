@@ -1,0 +1,187 @@
+//! Machine-readable analysis report.
+//!
+//! The JSON is hand-written (the workspace builds offline with no serde
+//! feature surface for this) and **byte-stable**: same tree in, same bytes
+//! out — violations and allowed entries are sorted by `(file, line, lint)`,
+//! keys are emitted in fixed order, and nothing time- or environment-
+//! dependent is recorded. CI diffs two runs to assert exactly that.
+
+use crate::lints::LINT_IDS;
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Lint identifier (one of [`LINT_IDS`]).
+    pub lint: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    pub message: String,
+    /// The trimmed source line, for human triage without opening the file.
+    pub snippet: String,
+}
+
+/// A finding suppressed by the allowlist or an inline waiver — kept in the
+/// report so the audit surface stays visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allowed {
+    pub violation: Violation,
+    pub reason: String,
+}
+
+/// The result of analysing a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub allowed: Vec<Allowed>,
+}
+
+impl Report {
+    /// Sort contents into the canonical report order.
+    pub fn finalize(&mut self) {
+        let key = |v: &Violation| (v.file.clone(), v.line, v.lint);
+        self.violations.sort_by_key(key);
+        self.allowed.sort_by_key(|a| key(&a.violation));
+    }
+
+    /// Whether the workspace is clean (no unallowlisted violations).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count of hard violations for `lint`.
+    pub fn count(&self, lint: &str) -> usize {
+        self.violations.iter().filter(|v| v.lint == lint).count()
+    }
+
+    /// Human-readable summary block.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "pmr-analyze: {} files scanned", self.files_scanned);
+        for lint in LINT_IDS {
+            let _ = writeln!(
+                out,
+                "  {lint:<16} {:>3} violation(s), {:>3} allowed",
+                self.count(lint),
+                self.allowed.iter().filter(|a| a.violation.lint == lint).count()
+            );
+        }
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.lint, v.message);
+            let _ = writeln!(out, "    {}", v.snippet);
+        }
+        out
+    }
+
+    /// The stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"summary\": {");
+        for (i, lint) in LINT_IDS.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, " \"{lint}\": {}", self.count(lint));
+        }
+        s.push_str(" },\n");
+        s.push_str("  \"violations\": [");
+        write_items(&mut s, &self.violations, |s, v| write_violation(s, v, None));
+        s.push_str("],\n");
+        s.push_str("  \"allowed\": [");
+        write_items(&mut s, &self.allowed, |s, a| {
+            write_violation(s, &a.violation, Some(&a.reason))
+        });
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn write_items<T>(s: &mut String, items: &[T], mut one: impl FnMut(&mut String, &T)) {
+    for (i, item) in items.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str("    ");
+        one(s, item);
+    }
+    if !items.is_empty() {
+        s.push_str("\n  ");
+    }
+}
+
+fn write_violation(s: &mut String, v: &Violation, reason: Option<&str>) {
+    let _ = write!(
+        s,
+        "{{ \"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"",
+        v.lint,
+        escape(&v.file),
+        v.line,
+        escape(&v.message),
+        escape(&v.snippet)
+    );
+    if let Some(r) = reason {
+        let _ = write!(s, ", \"reason\": \"{}\"", escape(r));
+    }
+    s.push_str(" }");
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: usize, lint: &'static str) -> Violation {
+        Violation {
+            lint,
+            file: file.into(),
+            line,
+            message: "m".into(),
+            snippet: "let x = \"q\";".into(),
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_sorted() {
+        let mut r = Report {
+            files_scanned: 2,
+            violations: vec![v("b.rs", 3, "panic_path"), v("a.rs", 9, "lossy_cast")],
+            allowed: vec![],
+        };
+        r.finalize();
+        assert_eq!(r.violations[0].file, "a.rs");
+        let j1 = r.to_json();
+        let j2 = r.to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"summary\""));
+        assert!(j1.contains("\"panic_path\": 1"));
+        // Embedded quotes are escaped.
+        assert!(j1.contains("\\\"q\\\""));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let mut r = Report { files_scanned: 0, violations: vec![], allowed: vec![] };
+        r.finalize();
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"violations\": []"));
+    }
+}

@@ -1,0 +1,7 @@
+//! L3 fixture: a bounded cast with an inline waiver must be reported as
+//! allowed, not as a violation.
+
+pub fn plane_shift(k: usize) -> u32 {
+    // lint:allow(lossy_cast): k < 64 bit-planes by construction
+    k as u32
+}

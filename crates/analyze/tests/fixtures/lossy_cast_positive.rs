@@ -1,0 +1,14 @@
+//! L3 fixture: lossy `as` casts on a lint-scoped path. Both marked lines
+//! must fire `lossy_cast`.
+
+pub fn narrow(n: usize) -> u32 {
+    n as u32 // fires: usize -> u32 wraps silently
+}
+
+pub fn quantize(x: f64) -> i64 {
+    (x / 0.5).round() as i64 // fires: float -> int drops NaN/inf
+}
+
+pub fn widen(n: u32) -> u64 {
+    n as u64 // must NOT fire: widening is lossless
+}

@@ -1,0 +1,10 @@
+//! L4 fixture: ordered containers and seeded generators are the approved
+//! alternatives — nothing here may fire `nondeterminism`.
+
+use std::collections::BTreeMap;
+
+pub fn deterministic(seed: u64) -> u64 {
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    m.insert(seed, seed.wrapping_mul(6364136223846793005));
+    m.values().sum()
+}

@@ -1,0 +1,12 @@
+//! L4 fixture: nondeterminism sources in artifact-producing code. All
+//! three marked lines must fire `nondeterminism`.
+
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub fn stamp() -> u64 {
+    let t = SystemTime::now(); // fires: wall clock in artifact code
+    let _ = t;
+    let m: HashMap<u32, u32> = HashMap::new(); // fires twice: hash order
+    m.len() as u64
+}

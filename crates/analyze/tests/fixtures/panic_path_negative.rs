@@ -1,0 +1,19 @@
+//! L1 fixture: none of these may fire `panic_path` — the unwrap sits in a
+//! test region, the expect carries an inline waiver, and asserts are
+//! contract checks, not error handling.
+
+pub fn checked(bytes: &[u8]) -> Option<u32> {
+    assert!(!bytes.is_empty() || bytes.is_empty(), "tautology, but allowed");
+    // lint:allow(panic_path): length fits u32 by the segment-format invariant
+    let n = bytes.len().try_into().expect("fits");
+    Some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

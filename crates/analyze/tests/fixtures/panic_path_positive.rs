@@ -1,0 +1,11 @@
+//! L1 fixture: panic-capable calls in library code on a lint-scoped path.
+//! Every marked line must fire `panic_path`.
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap(); // fires: .unwrap()
+    if *first == 0 {
+        panic!("zero prefix"); // fires: panic!
+    }
+    let len: u32 = bytes.len().try_into().expect("fits"); // fires: .expect()
+    len
+}

@@ -1,0 +1,6 @@
+//! L2 fixture: documented `unsafe` must not fire `unsafe_safety`.
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to at least one initialized byte.
+    unsafe { *p }
+}

@@ -1,0 +1,137 @@
+//! Fixture-driven lint tests: every lint must fire on its positive fixture
+//! and stay quiet (or report the occurrence as *allowed*) on its negative.
+//!
+//! Fixtures live under `tests/fixtures/` and are fed to the analyzer under
+//! synthetic workspace-relative paths so the path scoping in
+//! `AnalyzeConfig::default()` applies exactly as it does in the real run.
+
+use pmr_analyze::{analyze_sources, AllowEntry, AnalyzeConfig, Report};
+
+/// Lint one fixture as if it lived at `rel_path` in the workspace.
+fn lint(rel_path: &str, src: &str, cfg: &AnalyzeConfig) -> Report {
+    analyze_sources([(rel_path, src)], cfg)
+}
+
+fn count(report: &Report, lint: &str) -> usize {
+    report.violations.iter().filter(|v| v.lint == lint).count()
+}
+
+fn count_allowed(report: &Report, lint: &str) -> usize {
+    report.allowed.iter().filter(|a| a.violation.lint == lint).count()
+}
+
+// ---- L1: panic_path ----
+
+#[test]
+fn panic_path_fires_on_unwrap_expect_and_panic() {
+    let src = include_str!("fixtures/panic_path_positive.rs");
+    let r = lint("crates/mgard/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "panic_path"), 3, "unwrap + panic! + expect: {:#?}", r.violations);
+}
+
+#[test]
+fn panic_path_respects_tests_waivers_and_asserts() {
+    let src = include_str!("fixtures/panic_path_negative.rs");
+    let r = lint("crates/mgard/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "panic_path"), 0, "spurious: {:#?}", r.violations);
+    // The waived expect is audited, not silently dropped.
+    assert_eq!(count_allowed(&r, "panic_path"), 1);
+}
+
+#[test]
+fn panic_path_is_scoped_to_configured_paths() {
+    let src = include_str!("fixtures/panic_path_positive.rs");
+    let r = lint("crates/nn/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "panic_path"), 0, "nn is off the data path");
+}
+
+// ---- L2: unsafe_safety + send_sync_impl ----
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    let src = include_str!("fixtures/unsafe_safety_positive.rs");
+    let r = lint("crates/nn/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "unsafe_safety"), 1, "{:#?}", r.violations);
+    assert_eq!(count(&r, "send_sync_impl"), 1, "{:#?}", r.violations);
+}
+
+#[test]
+fn documented_unsafe_is_clean() {
+    let src = include_str!("fixtures/unsafe_safety_negative.rs");
+    let r = lint("crates/nn/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert!(r.is_clean(), "{:#?}", r.violations);
+}
+
+#[test]
+fn send_sync_impl_is_allowlist_only() {
+    // Even an inline waiver must NOT excuse an `unsafe impl Send` — only a
+    // central analyze.toml entry may.
+    let src = "// SAFETY: sole owner\n// lint:allow(send_sync_impl): trust me\nunsafe impl Send for H {}\npub struct H(*mut u8);\n";
+    let r = lint("crates/nn/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "send_sync_impl"), 1, "inline waiver must not apply");
+
+    let mut cfg = AnalyzeConfig::default();
+    cfg.allow.push(AllowEntry {
+        lint: "send_sync_impl".into(),
+        path: "crates/nn/src/fixture.rs".into(),
+        reason: "raw pointer owned exclusively; audited".into(),
+    });
+    let r = lint("crates/nn/src/fixture.rs", src, &cfg);
+    assert_eq!(count(&r, "send_sync_impl"), 0);
+    assert_eq!(count_allowed(&r, "send_sync_impl"), 1);
+}
+
+// ---- L3: lossy_cast ----
+
+#[test]
+fn lossy_casts_fire_and_widening_does_not() {
+    let src = include_str!("fixtures/lossy_cast_positive.rs");
+    let r = lint("crates/codec/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "lossy_cast"), 2, "narrowing + float→int only: {:#?}", r.violations);
+}
+
+#[test]
+fn waived_lossy_cast_is_reported_as_allowed() {
+    let src = include_str!("fixtures/lossy_cast_negative.rs");
+    let r = lint("crates/codec/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "lossy_cast"), 0, "{:#?}", r.violations);
+    assert_eq!(count_allowed(&r, "lossy_cast"), 1);
+}
+
+#[test]
+fn lossy_cast_is_scoped_to_codec_crates() {
+    let src = include_str!("fixtures/lossy_cast_positive.rs");
+    let r = lint("crates/core/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "lossy_cast"), 0, "core is not a cast-lint path");
+}
+
+// ---- L4: nondeterminism ----
+
+#[test]
+fn nondeterminism_sources_fire() {
+    let src = include_str!("fixtures/nondet_positive.rs");
+    let r = lint("crates/mgard/src/fixture.rs", src, &AnalyzeConfig::default());
+    // SystemTime::now plus the HashMap mentions (the import counts too —
+    // the type's presence is what lets order leak into output).
+    assert!(count(&r, "nondeterminism") >= 2, "{:#?}", r.violations);
+}
+
+#[test]
+fn ordered_containers_are_clean() {
+    let src = include_str!("fixtures/nondet_negative.rs");
+    let r = lint("crates/mgard/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "nondeterminism"), 0, "{:#?}", r.violations);
+}
+
+// ---- report plumbing ----
+
+#[test]
+fn summary_and_json_agree_with_violations() {
+    let src = include_str!("fixtures/panic_path_positive.rs");
+    let r = lint("crates/mgard/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert!(!r.is_clean());
+    let json = r.to_json();
+    assert!(json.contains("\"panic_path\": 3"), "{json}");
+    // Serialization is deterministic.
+    assert_eq!(json, r.to_json());
+}

@@ -47,8 +47,8 @@ fn main() {
         let abs = c.absolute_bound(rel);
         let tplan = c.plan_theory(abs);
         let eplan = c.plan_with_constants(abs, &constants);
-        let tout = execute(&field, &c, &tplan);
-        let eout = execute(&field, &c, &eplan);
+        let tout = execute(&field, &c, &tplan).expect("theory plan matches artifact");
+        let eout = execute(&field, &c, &eplan).expect("emgard plan matches artifact");
         // Distance from the input bound in log space (smaller = better
         // error control).
         let dt = (abs / tout.achieved_err.max(1e-300)).log10().abs();

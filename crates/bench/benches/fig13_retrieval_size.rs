@@ -33,7 +33,8 @@ fn main() {
     let mut c_violations = 0usize;
     for &t in &test_ts {
         let field = datasets::warpx(&wcfg, WarpXField::Jx, t);
-        let rows = compare_on_field(&field, &models, &cfg, &bounds);
+        let rows = compare_on_field(&field, &models, &cfg, &bounds)
+            .expect("trained models match the artifact");
         for (slot, row) in acc.iter_mut().zip(&rows) {
             slot.1 += row.theory.bytes;
             slot.2 += row.dmgard.bytes;

@@ -4,7 +4,7 @@
 //! embedded [`LevelEncoding`] stream (its own self-contained format).
 
 use crate::codec::BlockCompressed;
-use pmr_error::PmrError;
+use pmr_error::{len_u32, PmrError};
 use pmr_field::Shape;
 use pmr_mgard::LevelEncoding;
 use std::fs;
@@ -18,21 +18,24 @@ fn malformed(detail: &str) -> PmrError {
 }
 
 /// Serialize an artifact to bytes.
-pub fn to_bytes(c: &BlockCompressed) -> Vec<u8> {
+///
+/// Fails with [`PmrError::Corrupt`] if a length no longer fits its `u32`
+/// wire field instead of wrapping it.
+pub fn to_bytes(c: &BlockCompressed) -> Result<Vec<u8>, PmrError> {
     let mut out = Vec::with_capacity(c.total_bytes() as usize + 1024);
     out.extend_from_slice(MAGIC);
     let name = c.name().as_bytes();
-    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len_u32(name.len(), "field name length")?.to_le_bytes());
     out.extend_from_slice(name);
     out.extend_from_slice(&(c.timestep() as u64).to_le_bytes());
     let shape = c.shape();
-    out.extend_from_slice(&(shape.ndim() as u32).to_le_bytes());
+    out.extend_from_slice(&len_u32(shape.ndim(), "ndim")?.to_le_bytes());
     for d in 0..3 {
-        out.extend_from_slice(&(shape.dim(d) as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32(shape.dim(d), "grid dimension")?.to_le_bytes());
     }
     out.extend_from_slice(&c.value_range().to_le_bytes());
-    out.extend_from_slice(&c.encoding().to_bytes());
-    out
+    out.extend_from_slice(&c.encoding().to_bytes()?);
+    Ok(out)
 }
 
 /// Deserialize an artifact previously produced by [`to_bytes`].
@@ -59,7 +62,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<BlockCompressed, PmrError> {
         take(&mut pos, 8)
             .ok_or_else(|| malformed("truncated timestep"))?
             .try_into()
-            .expect("8-byte slice"),
+            .map_err(|_| malformed("truncated timestep"))?,
     ) as usize;
     let ndim = u32_at(&mut pos).ok_or_else(|| malformed("truncated ndim"))? as usize;
     let dx = u32_at(&mut pos).ok_or_else(|| malformed("truncated dims"))? as usize;
@@ -79,7 +82,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<BlockCompressed, PmrError> {
         take(&mut pos, 8)
             .ok_or_else(|| malformed("truncated value range"))?
             .try_into()
-            .expect("8-byte slice"),
+            .map_err(|_| malformed("truncated value range"))?,
     );
     if !value_range.is_finite() || value_range < 0.0 {
         return Err(malformed("value range must be finite and non-negative"));
@@ -101,8 +104,9 @@ pub fn save(c: &BlockCompressed, path: &Path) -> Result<(), PmrError> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent).map_err(io_err)?;
     }
+    let bytes = to_bytes(c)?;
     let mut f = io::BufWriter::new(fs::File::create(path).map_err(io_err)?);
-    f.write_all(&to_bytes(c)).map_err(io_err)?;
+    f.write_all(&bytes).map_err(io_err)?;
     f.flush().map_err(io_err)
 }
 
@@ -132,7 +136,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_retrieval() {
         let (field, c) = artifact();
-        let rt = from_bytes(&to_bytes(&c)).expect("roundtrip");
+        let rt = from_bytes(&to_bytes(&c).expect("serialize")).expect("roundtrip");
         assert_eq!(rt.name(), "B_x");
         assert_eq!(rt.shape(), field.shape());
         for b in [4u32, 16, 32] {
@@ -158,7 +162,7 @@ mod tests {
     #[test]
     fn corruption_rejected() {
         let (_, c) = artifact();
-        let bytes = to_bytes(&c);
+        let bytes = to_bytes(&c).expect("serialize");
         assert!(from_bytes(&bytes[..bytes.len() - 3]).is_err());
         assert!(from_bytes(b"junk").is_err());
         let mut bad = bytes.clone();

@@ -20,7 +20,9 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
         let mut s = from;
         while s < to {
             let chunk = (to - s).min(128);
-            out.push((chunk - 1) as u8);
+            // `chunk - 1 <= 127` by the min() above; the fallback is the
+            // clamp value and is unreachable.
+            out.push(u8::try_from(chunk - 1).unwrap_or(127));
             out.extend_from_slice(&data[s..s + chunk]);
             s += chunk;
         }
@@ -35,7 +37,8 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
         }
         if run >= 3 {
             flush_literals(&mut out, lit_start, i, data);
-            out.push(0x80 + (run - 3) as u8);
+            // `run <= 130` by the scan bound, so `run - 3 <= 127`.
+            out.push(0x80 + u8::try_from(run - 3).unwrap_or(127));
             out.push(b);
             i += run;
             lit_start = i;

@@ -50,8 +50,10 @@ pub fn check_serial_parallel_identity(seed: u64, failures: &mut Vec<String>) {
         let serial = Compressed::compress_with(&field, &compress_cfg(1), &ExecPolicy::serial());
         let parallel =
             Compressed::compress_with(&field, &compress_cfg(4), &ExecPolicy::with_threads(4));
-        let serial_bytes = persist::to_bytes(&serial);
-        let parallel_bytes = persist::to_bytes(&parallel);
+        // Compare as `Result<_, String>` so a serialization failure on one
+        // side also reads as a divergence instead of aborting the sweep.
+        let serial_bytes = persist::to_bytes(&serial).map_err(|e| e.to_string());
+        let parallel_bytes = persist::to_bytes(&parallel).map_err(|e| e.to_string());
         if serial_bytes != parallel_bytes {
             failures.push(format!(
                 "differential: {} serial vs parallel compression artifacts differ",
@@ -80,7 +82,9 @@ pub fn check_batch_equivalence(seed: u64, failures: &mut Vec<String>) {
     let batch = Compressed::compress_many(&fields, &cfg);
     let single: Vec<Compressed> = fields.iter().map(|f| Compressed::compress(f, &cfg)).collect();
     for (f, (b, s)) in fields.iter().zip(batch.iter().zip(&single)) {
-        if persist::to_bytes(b) != persist::to_bytes(s) {
+        if persist::to_bytes(b).map_err(|e| e.to_string())
+            != persist::to_bytes(s).map_err(|e| e.to_string())
+        {
             failures.push(format!(
                 "differential: {} compress_many differs from per-item compress",
                 f.name()

@@ -124,7 +124,8 @@ pub fn regenerate(dir: &Path) -> Result<(), String> {
     for spec in specs() {
         let field = golden_field(&spec);
         let c = compress_golden(&field);
-        let blob = persist::to_bytes(&c);
+        let blob =
+            persist::to_bytes(&c).map_err(|e| format!("golden: {}: serialize: {e}", spec.name))?;
         let file = format!("{}.pmr", spec.name);
         std::fs::write(dir.join(&file), &blob).map_err(|e| format!("write {file}: {e}"))?;
         artifacts.push(Json::obj(vec![
@@ -212,13 +213,16 @@ fn verify_artifact(dir: &Path, entry: &Json, name: &str) -> Result<(), String> {
 
     // Format stability: parse then re-serialise byte-identically.
     let parsed = persist::from_bytes(&blob).map_err(|e| format!("golden: {name}: parse: {e}"))?;
-    if persist::to_bytes(&parsed) != blob {
+    let reserialized =
+        persist::to_bytes(&parsed).map_err(|e| format!("golden: {name}: serialize: {e}"))?;
+    if reserialized != blob {
         return Err(format!("golden: {name}: parse→serialise is not byte-identical"));
     }
 
     // Compressor stability: the regenerated source compresses to the blob.
     let field = golden_field(&spec);
-    let recompressed = persist::to_bytes(&compress_golden(&field));
+    let recompressed = persist::to_bytes(&compress_golden(&field))
+        .map_err(|e| format!("golden: {name}: serialize: {e}"))?;
     if recompressed != blob {
         return Err(format!(
             "golden: {name}: recompressing the source field no longer reproduces the blob"

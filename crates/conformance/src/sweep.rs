@@ -390,14 +390,23 @@ fn check_nan_robustness(fields: &[Field], failures: &mut Vec<String>) {
                 field.name()
             ));
         }
-        let bytes = persist::to_bytes(&c);
+        let bytes = match persist::to_bytes(&c) {
+            Ok(b) => b,
+            Err(e) => {
+                failures.push(format!(
+                    "nan-robustness: {} artifact failed to serialize: {e}",
+                    field.name()
+                ));
+                continue;
+            }
+        };
         match persist::from_bytes(&bytes) {
             Err(e) => failures.push(format!(
                 "nan-robustness: {} artifact failed byte roundtrip: {e}",
                 field.name()
             )),
             Ok(back) => {
-                if persist::to_bytes(&back) != bytes {
+                if persist::to_bytes(&back).ok().as_ref() != Some(&bytes) {
                     failures
                         .push(format!("nan-robustness: {} artifact not byte-stable", field.name()));
                 }
@@ -430,8 +439,24 @@ pub fn run_sweep(cfg: &SweepConfig) -> ConformanceReport {
             let scale = bound_scale(&item.field);
             cfg.grid.rel_bounds.iter().map(|r| r * scale).collect()
         };
-        let points =
-            sweep_strategy(&item.field, &item.compressed, &item.features, &Theory, &abs_bounds);
+        let points = match sweep_strategy(
+            &item.field,
+            &item.compressed,
+            &item.features,
+            &Theory,
+            &abs_bounds,
+        ) {
+            Ok(pts) => pts,
+            Err(e) => {
+                // A plan/artifact mismatch is itself a conformance failure.
+                failures.push(format!(
+                    "theory sweep failed: {} t{}: {e}",
+                    item.field.name(),
+                    item.field.timestep()
+                ));
+                continue;
+            }
+        };
         // Theory's own claim is the reachability oracle for this artifact.
         let reachable: Vec<bool> = points.iter().map(SweepPoint::claimed).collect();
         for p in &points {
@@ -444,15 +469,24 @@ pub fn run_sweep(cfg: &SweepConfig) -> ConformanceReport {
         }
         if item.trainable() {
             for (i, retriever) in learned.iter().enumerate() {
-                let pts = sweep_strategy(
+                match sweep_strategy(
                     &item.field,
                     &item.compressed,
                     &item.features,
                     retriever,
                     &abs_bounds,
-                );
-                learned_reachable[i].extend(&reachable);
-                learned_points[i].extend(pts);
+                ) {
+                    Ok(pts) => {
+                        learned_reachable[i].extend(&reachable);
+                        learned_points[i].extend(pts);
+                    }
+                    Err(e) => failures.push(format!(
+                        "{} sweep failed: {} t{}: {e}",
+                        retriever.name(),
+                        item.field.name(),
+                        item.field.timestep()
+                    )),
+                }
             }
         }
         theory_points.extend(points);

@@ -172,11 +172,20 @@ impl DMgard {
                             other => other,
                         };
                         let history = fit(&mut mlp, &data, &train_cfg);
-                        (mlp, std, (mu, sigma), *history.last().unwrap())
+                        let final_loss = history.last().copied().unwrap_or(f32::NAN);
+                        (mlp, std, (mu, sigma), final_loss)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("trainer thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Re-raise a trainer panic on the coordinating thread
+                    // instead of masking it behind a second panic site.
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
         });
 
         let mut models = Vec::with_capacity(num_levels);

@@ -204,7 +204,9 @@ pub fn build_samples_many(
             });
         }
     });
-    out.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+    let filled: Vec<Vec<TrainSample>> = out.into_iter().flatten().collect();
+    assert_eq!(filled.len(), items.len(), "batch worker left a slot unfilled");
+    filled
 }
 
 /// The trained E-MGARD model: one encoder per coefficient level.

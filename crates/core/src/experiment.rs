@@ -7,6 +7,7 @@ use crate::emgard::{build_samples_many, EMgard, EMgardConfig, TrainSample};
 use crate::features;
 use crate::framework::{execute, RetrievalOutcome};
 use crate::records::{collect_records_many, RetrievalRecord};
+use pmr_error::PmrError;
 use pmr_field::Field;
 use pmr_mgard::{CompressConfig, Compressed};
 use serde::{Deserialize, Serialize};
@@ -133,12 +134,15 @@ pub fn saving(theory_bytes: u64, new_bytes: u64) -> f64 {
 }
 
 /// Run all three retrievers on one snapshot over `rel_bounds`.
+///
+/// Fails when a model produces a plan incompatible with the artifact
+/// (e.g. trained for a different level count).
 pub fn compare_on_field(
     field: &Field,
     models: &TrainedModels,
     cfg: &ExperimentConfig,
     rel_bounds: &[f64],
-) -> Vec<ComparisonRow> {
+) -> Result<Vec<ComparisonRow>, PmrError> {
     let compressed = Compressed::compress(field, &cfg.compress);
     let feats = features::retrieval_features(field, &compressed);
     // E-MGARD constants depend only on the artifact, not the bound.
@@ -156,16 +160,16 @@ pub fn compare_on_field(
                 abs,
                 &dplan.planes,
             );
-            ComparisonRow {
+            Ok(ComparisonRow {
                 field_name: field.name().to_string(),
                 timestep: field.timestep(),
                 rel_bound: rel,
                 abs_bound: abs,
-                theory: execute(field, &compressed, &tplan),
-                dmgard: execute(field, &compressed, &dplan),
-                emgard: execute(field, &compressed, &eplan),
-                combined: execute(field, &compressed, &cplan),
-            }
+                theory: execute(field, &compressed, &tplan)?,
+                dmgard: execute(field, &compressed, &dplan)?,
+                emgard: execute(field, &compressed, &eplan)?,
+                combined: execute(field, &compressed, &cplan)?,
+            })
         })
         .collect()
 }
@@ -224,7 +228,7 @@ mod tests {
 
         // Evaluate on an unseen later snapshot.
         let test = snapshot(4);
-        let rows = compare_on_field(&test, &models, &cfg, &[1e-4, 1e-2]);
+        let rows = compare_on_field(&test, &models, &cfg, &[1e-4, 1e-2]).unwrap();
         assert_eq!(rows.len(), 2);
         for row in &rows {
             // Theory always respects the bound.

@@ -3,6 +3,7 @@
 
 use crate::dmgard::DMgard;
 use crate::emgard::EMgard;
+use pmr_error::PmrError;
 use pmr_field::{error, Field};
 use pmr_mgard::{Compressed, RetrievalPlan};
 use serde::{Deserialize, Serialize};
@@ -130,18 +131,21 @@ pub struct RetrievalOutcome {
 }
 
 /// Execute `plan` against `compressed` and measure against `original`.
+///
+/// Fails when the plan does not match the artifact (wrong level count) or
+/// the original does not match the artifact's shape.
 pub fn execute(
     original: &Field,
     compressed: &Compressed,
     plan: &RetrievalPlan,
-) -> RetrievalOutcome {
-    let m = compressed.retrieve_measured(plan, original).unwrap_or_else(|e| panic!("execute: {e}"));
-    RetrievalOutcome {
+) -> Result<RetrievalOutcome, PmrError> {
+    let m = compressed.retrieve_measured(plan, original)?;
+    Ok(RetrievalOutcome {
         planes: plan.planes.clone(),
         bytes: m.bytes,
         achieved_err: m.achieved_error,
         psnr: error::psnr(original.data(), m.field.data()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -163,7 +167,7 @@ mod tests {
         assert_eq!(r.name(), "MGARD");
         let bound = c.absolute_bound(1e-3);
         let plan = r.plan(&ctx, bound);
-        let outcome = execute(&field, &c, &plan);
+        let outcome = execute(&field, &c, &plan).unwrap();
         assert!(outcome.achieved_err <= bound);
         assert!(outcome.bytes > 0);
         assert!(outcome.psnr > 20.0);

@@ -9,7 +9,7 @@ use crate::features;
 use pmr_field::{error::max_abs_error, Field};
 use pmr_mgard::{Compressed, ExecPolicy};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One `(requested bound → plan → achieved error)` observation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,7 +64,9 @@ pub fn collect_records_with(
     exec: &ExecPolicy,
 ) -> Vec<RetrievalRecord> {
     let base = features::retrieval_features(field, compressed);
-    let mut achieved_cache: HashMap<Vec<u32>, f64> = HashMap::new();
+    // BTreeMap keeps the cache's iteration order deterministic; records are
+    // training inputs, so their production must not depend on hash order.
+    let mut achieved_cache: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
     let mut out = Vec::with_capacity(rel_bounds.len());
     for &rel in rel_bounds {
         let abs = compressed.absolute_bound(rel);
@@ -117,7 +119,9 @@ pub fn collect_records_many(
             });
         }
     });
-    out.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+    let filled: Vec<Vec<RetrievalRecord>> = out.into_iter().flatten().collect();
+    assert_eq!(filled.len(), items.len(), "batch worker left a slot unfilled");
+    filled
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! violation-rate and overshoot accounting on these points.
 
 use crate::framework::{RetrievalContext, Retriever};
+use pmr_error::PmrError;
 use pmr_field::Field;
 use pmr_mgard::Compressed;
 
@@ -74,23 +75,24 @@ impl SweepPoint {
 /// `original` must be the exact field the artifact was compressed from;
 /// achieved errors are measured against it via
 /// [`Compressed::retrieve_measured`].
+///
+/// Fails when the retriever produces a plan that does not match the
+/// artifact (e.g. a model trained for a different level count).
 pub fn sweep_strategy(
     original: &Field,
     compressed: &Compressed,
     features: &[f32],
     retriever: &dyn Retriever,
     abs_bounds: &[f64],
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, PmrError> {
     let ctx = RetrievalContext { compressed, features };
     let total_bytes = compressed.total_bytes();
     abs_bounds
         .iter()
         .map(|&abs_bound| {
             let plan = retriever.plan(&ctx, abs_bound);
-            let m = compressed
-                .retrieve_measured(&plan, original)
-                .expect("retriever produced a plan matching its own artifact");
-            SweepPoint {
+            let m = compressed.retrieve_measured(&plan, original)?;
+            Ok(SweepPoint {
                 strategy: retriever.name().to_string(),
                 field_name: original.name().to_string(),
                 timestep: original.timestep(),
@@ -100,7 +102,7 @@ pub fn sweep_strategy(
                 bytes: m.bytes,
                 total_bytes,
                 planes: plan.planes,
-            }
+            })
         })
         .collect()
 }
@@ -112,11 +114,12 @@ pub fn sweep(
     features: &[f32],
     retrievers: &[&dyn Retriever],
     abs_bounds: &[f64],
-) -> Vec<SweepPoint> {
-    retrievers
-        .iter()
-        .flat_map(|r| sweep_strategy(original, compressed, features, *r, abs_bounds))
-        .collect()
+) -> Result<Vec<SweepPoint>, PmrError> {
+    let mut out = Vec::new();
+    for r in retrievers {
+        out.extend(sweep_strategy(original, compressed, features, *r, abs_bounds)?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -139,7 +142,7 @@ mod tests {
         let c = Compressed::compress(&field, &CompressConfig::default());
         let feats = retrieval_features(&field, &c);
         let bounds: Vec<f64> = [1e-1, 1e-2, 1e-3, 1e-4].map(|r| c.absolute_bound(r)).to_vec();
-        let points = sweep_strategy(&field, &c, &feats, &Theory, &bounds);
+        let points = sweep_strategy(&field, &c, &feats, &Theory, &bounds).unwrap();
         assert_eq!(points.len(), bounds.len());
         for p in &points {
             assert_eq!(p.strategy, "MGARD");
@@ -161,7 +164,7 @@ mod tests {
         let feats = retrieval_features(&field, &c);
         let bounds = [c.absolute_bound(1e-2)];
         let rs: Vec<&dyn Retriever> = vec![&Theory, &Theory];
-        let points = sweep(&field, &c, &feats, &rs, &bounds);
+        let points = sweep(&field, &c, &feats, &rs, &bounds).unwrap();
         assert_eq!(points.len(), 2);
     }
 }

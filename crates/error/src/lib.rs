@@ -33,6 +33,14 @@ pub enum PmrError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// In-memory data violated an internal invariant: a length or shift that
+    /// no longer fits its serialized width, a checksum mismatch, a value a
+    /// checked conversion refused. Distinct from [`PmrError::Malformed`],
+    /// which covers *external* bytes failing validation on the way in.
+    Corrupt {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
 }
 
 /// Convenience alias used across the workspace.
@@ -53,6 +61,19 @@ impl PmrError {
     pub fn io_at(path: impl Into<PathBuf>, source: io::Error) -> Self {
         PmrError::Io { path: Some(path.into()), source }
     }
+
+    /// A [`PmrError::Corrupt`] with the given detail.
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        PmrError::Corrupt { detail: detail.into() }
+    }
+}
+
+/// Checked `usize → u32` for serialized length/count fields. Wrapping a
+/// too-large length with `as u32` would silently corrupt the artifact; this
+/// surfaces [`PmrError::Corrupt`] instead. `what` names the field for the
+/// error message.
+pub fn len_u32(n: usize, what: &str) -> Result<u32> {
+    u32::try_from(n).map_err(|_| PmrError::corrupt(format!("{what} {n} exceeds u32 range")))
 }
 
 impl fmt::Display for PmrError {
@@ -64,6 +85,7 @@ impl fmt::Display for PmrError {
             PmrError::Io { path: None, source } => write!(f, "i/o error: {source}"),
             PmrError::Malformed { what, detail } => write!(f, "malformed {what}: {detail}"),
             PmrError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            PmrError::Corrupt { detail } => write!(f, "corrupt data: {detail}"),
         }
     }
 }
@@ -108,6 +130,17 @@ mod tests {
             Ok(())
         }
         assert!(matches!(fails(), Err(PmrError::Io { path: None, .. })));
+    }
+
+    #[test]
+    fn len_u32_checks_range() {
+        assert_eq!(len_u32(7, "plane length").ok(), Some(7));
+        if usize::BITS > 32 {
+            let big = u32::MAX as usize + 1;
+            let e = len_u32(big, "plane length").unwrap_err();
+            assert!(matches!(e, PmrError::Corrupt { .. }), "{e}");
+            assert!(e.to_string().contains("plane length"), "{e}");
+        }
     }
 
     #[test]

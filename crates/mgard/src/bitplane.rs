@@ -16,7 +16,7 @@ use pmr_codec::{
     bitstream::{BitReader, BitWriter},
     lossless, negabinary,
 };
-use pmr_error::PmrError;
+use pmr_error::{len_u32, PmrError};
 use serde::{Deserialize, Serialize};
 
 /// Default number of bit-planes per coefficient level (the paper's `B`).
@@ -37,6 +37,17 @@ pub struct LevelEncoding {
     /// coefficient error when only the first `b` planes are used
     /// (length `B + 1`; `error_row[0]` = max |c|).
     error_row: Vec<f64>,
+}
+
+/// Fixed-point quantization of one coefficient against the level step.
+///
+/// The saturating float→int `as` cast *is* the crate's non-finite policy
+/// (see the degenerate-level branch in [`LevelEncoding::encode`]): a NaN
+/// coefficient quantizes to 0, ±inf never reaches here because the caller
+/// collapses the level first.
+fn quantize(c: f64, step: f64) -> i64 {
+    // lint:allow(lossy_cast): round-then-saturate is the documented NaN/inf quantization policy
+    (c / step).round() as i64
 }
 
 impl LevelEncoding {
@@ -94,19 +105,23 @@ impl LevelEncoding {
         let weights: Vec<i64> = (0..b).map(|k| (-2_i64).pow(b - 1 - k)).collect();
 
         for &c in coeffs {
-            let q = (c / step).round() as i64;
+            let q = quantize(c, step);
             let nb = negabinary::to_negabinary(q);
             digits.push(nb);
             // Collect the exact truncation error for every prefix length.
+            // `(0..b).rev()` walks the shifts `b-1-k` without any
+            // usize→u32 narrowing on the plane index.
             error_row[0] = error_row[0].max(c.abs());
             let mut val: i64 = 0;
-            for (k, &w) in weights.iter().enumerate() {
-                if nb >> (b - 1 - k as u32) & 1 == 1 {
+            for ((shift, &w), worst) in
+                (0..b).rev().zip(weights.iter()).zip(error_row[1..].iter_mut())
+            {
+                if nb >> shift & 1 == 1 {
                     val += w;
                 }
                 let err = (c - val as f64 * step).abs();
-                if err > error_row[k + 1] {
-                    error_row[k + 1] = err;
+                if err > *worst {
+                    *worst = err;
                 }
             }
         }
@@ -159,18 +174,20 @@ impl LevelEncoding {
                 let weights = &weights;
                 scope.spawn(move || {
                     for (dst, &c) in dchunk.iter_mut().zip(cchunk) {
-                        let q = (c / step).round() as i64;
+                        let q = quantize(c, step);
                         let nb = negabinary::to_negabinary(q);
                         *dst = nb;
                         row[0] = row[0].max(c.abs());
                         let mut val: i64 = 0;
-                        for (k, &w) in weights.iter().enumerate() {
-                            if nb >> (b - 1 - k as u32) & 1 == 1 {
+                        for ((shift, &w), worst) in
+                            (0..b).rev().zip(weights.iter()).zip(row[1..].iter_mut())
+                        {
+                            if nb >> shift & 1 == 1 {
                                 val += w;
                             }
                             let err = (c - val as f64 * step).abs();
-                            if err > row[k + 1] {
-                                row[k + 1] = err;
+                            if err > *worst {
+                                *worst = err;
                             }
                         }
                     }
@@ -188,12 +205,15 @@ impl LevelEncoding {
         // independent, so they are distributed across workers whole.
         let mut planes: Vec<Vec<u8>> = vec![Vec::new(); b as usize];
         let pchunk = (b as usize).div_ceil(threads).max(1);
+        // Shift of plane `k` is `b-1-k`; carrying the shifts alongside the
+        // plane slots avoids recovering `k` from chunk geometry (and the
+        // narrowing cast that required).
+        let shifts: Vec<u32> = (0..b).rev().collect();
         std::thread::scope(|scope| {
-            for (ci, chunk) in planes.chunks_mut(pchunk).enumerate() {
+            for (chunk, schunk) in planes.chunks_mut(pchunk).zip(shifts.chunks(pchunk)) {
                 let digits = &digits;
                 scope.spawn(move || {
-                    for (j, slot) in chunk.iter_mut().enumerate() {
-                        let shift = b - 1 - (ci * pchunk + j) as u32;
+                    for (slot, &shift) in chunk.iter_mut().zip(schunk) {
                         let mut w = BitWriter::with_capacity(digits.len());
                         for &nb in digits {
                             w.push(nb >> shift & 1 == 1);
@@ -266,7 +286,7 @@ impl LevelEncoding {
         }
         let expected = self.count.div_ceil(8);
         let mut digits = vec![0u64; self.count];
-        for (k, payload) in payloads.iter().enumerate() {
+        for ((k, payload), shift) in payloads.iter().enumerate().zip((0..self.num_planes).rev()) {
             let bytes = match lossless::decompress_bounded(payload, expected) {
                 Some(b) if b.len() == expected => b,
                 _ => {
@@ -276,10 +296,15 @@ impl LevelEncoding {
                     ))
                 }
             };
-            let shift = self.num_planes - 1 - k as u32;
             let mut r = BitReader::new(&bytes);
             for nb in digits.iter_mut() {
-                if r.next_bit().expect("validated plane holds one bit per coefficient") {
+                let bit = r.next_bit().ok_or_else(|| {
+                    PmrError::malformed(
+                        "plane segment",
+                        format!("plane {k} exhausted before {} coefficients", self.count),
+                    )
+                })?;
+                if bit {
                     *nb |= 1u64 << shift;
                 }
             }
@@ -293,7 +318,11 @@ impl LevelEncoding {
     /// Serialize to a self-contained byte buffer (used by the artifact
     /// persistence of this crate and by other codecs building on the
     /// bit-plane machinery).
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// Fails with [`PmrError::Corrupt`] if a plane payload has outgrown the
+    /// `u32` length field of the wire format — wrapping the length would
+    /// write an artifact that deserializes to the wrong bytes.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, PmrError> {
         let mut out = Vec::with_capacity(self.total_size() as usize + 256);
         out.extend_from_slice(&(self.count as u64).to_le_bytes());
         out.extend_from_slice(&self.num_planes.to_le_bytes());
@@ -302,10 +331,10 @@ impl LevelEncoding {
             out.extend_from_slice(&e.to_le_bytes());
         }
         for p in &self.planes {
-            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend_from_slice(&len_u32(p.len(), "plane payload length")?.to_le_bytes());
             out.extend_from_slice(p);
         }
-        out
+        Ok(out)
     }
 
     /// Inverse of [`LevelEncoding::to_bytes`]: parses and validates,
@@ -383,14 +412,19 @@ impl LevelEncoding {
         if self.step == 0.0 {
             return vec![0.0; self.count];
         }
+        // Planes are a construction invariant: `encode` packs exactly one
+        // bit per coefficient and `from_parts` re-validates persisted planes
+        // the same way, so a failure here is a contract bug, not bad input —
+        // asserted, not routed through `PmrError`.
+        let expected = self.count.div_ceil(8);
         let mut digits = vec![0u64; self.count];
         for k in 0..b {
-            let bytes = lossless::decompress(&self.planes[k as usize])
-                .expect("internally produced plane must decompress");
+            let bytes = lossless::decompress(&self.planes[k as usize]).unwrap_or_default();
+            assert_eq!(bytes.len(), expected, "plane {k} violated the construction invariant");
             let mut r = BitReader::new(&bytes);
             let shift = self.num_planes - 1 - k;
             for nb in digits.iter_mut() {
-                if r.next_bit().expect("plane shorter than coefficient count") {
+                if r.next_bit() == Some(true) {
                     *nb |= 1u64 << shift;
                 }
             }
@@ -411,15 +445,23 @@ impl LevelEncoding {
             return self.decode(b);
         }
 
-        // Pass 1: decompress the requested planes.
+        // Pass 1: decompress the requested planes. As in `decode`, the plane
+        // payloads are a construction invariant, so a mismatch is asserted.
+        let expected = self.count.div_ceil(8);
         let mut plane_bytes: Vec<Vec<u8>> = vec![Vec::new(); b as usize];
         let pchunk = (b as usize).div_ceil(threads).max(1);
         std::thread::scope(|scope| {
             for (ci, chunk) in plane_bytes.chunks_mut(pchunk).enumerate() {
                 scope.spawn(move || {
                     for (j, slot) in chunk.iter_mut().enumerate() {
-                        *slot = lossless::decompress(&self.planes[ci * pchunk + j])
-                            .expect("internally produced plane must decompress");
+                        let k = ci * pchunk + j;
+                        let bytes = lossless::decompress(&self.planes[k]).unwrap_or_default();
+                        assert_eq!(
+                            bytes.len(),
+                            expected,
+                            "plane {k} violated the construction invariant"
+                        );
+                        *slot = bytes;
                     }
                 });
             }
@@ -437,9 +479,9 @@ impl LevelEncoding {
                     for (j, slot) in chunk.iter_mut().enumerate() {
                         let i = ci * csize + j;
                         let mut nb = 0u64;
-                        for (k, bytes) in plane_bytes.iter().enumerate() {
+                        for (bytes, shift) in plane_bytes.iter().zip((0..self.num_planes).rev()) {
                             if bytes[i >> 3] >> (7 - (i & 7)) & 1 == 1 {
-                                nb |= 1u64 << (self.num_planes - 1 - k as u32);
+                                nb |= 1u64 << shift;
                             }
                         }
                         *slot = negabinary::from_negabinary(nb) as f64 * self.step;
@@ -555,7 +597,7 @@ mod tests {
         let serial = LevelEncoding::encode(&coeffs, 30);
         for exec in [ExecPolicy::with_threads(4), ExecPolicy::with_threads(7)] {
             let par = LevelEncoding::encode_with(&coeffs, 30, &exec);
-            assert_eq!(par.to_bytes(), serial.to_bytes(), "{exec:?}");
+            assert_eq!(par.to_bytes().unwrap(), serial.to_bytes().unwrap(), "{exec:?}");
             let row_bits =
                 |e: &LevelEncoding| e.error_row().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
             assert_eq!(row_bits(&par), row_bits(&serial), "{exec:?}");
@@ -579,6 +621,6 @@ mod tests {
         let coeffs = vec![0.0; 4096];
         let par = LevelEncoding::encode_with(&coeffs, 32, &ExecPolicy::with_threads(4));
         let serial = LevelEncoding::encode(&coeffs, 32);
-        assert_eq!(par.to_bytes(), serial.to_bytes());
+        assert_eq!(par.to_bytes().unwrap(), serial.to_bytes().unwrap());
     }
 }

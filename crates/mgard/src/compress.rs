@@ -279,11 +279,18 @@ impl Compressed {
                     let Some(field) = fields.get(i) else { break };
                     let mut c = Self::compress_with(field, cfg, &ExecPolicy::serial());
                     c.exec = exec;
-                    slots.lock().expect("batch slot lock poisoned")[i] = Some(c);
+                    // A poisoned lock means another worker panicked; the
+                    // scope re-raises that panic on join, so recovering the
+                    // slot table here is sound.
+                    slots.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(c);
                 });
             }
         });
-        out.into_iter().map(|c| c.expect("every batch slot filled")).collect()
+        let filled: Vec<Compressed> = out.into_iter().flatten().collect();
+        // The fetch_add loop hands out every index exactly once; a hole is
+        // a dispatch bug, not a runtime failure.
+        assert_eq!(filled.len(), fields.len(), "batch worker left a slot unfilled");
+        filled
     }
 
     pub fn name(&self) -> &str {
@@ -563,11 +570,15 @@ pub fn retrieve_many(items: &[(&Compressed, &RetrievalPlan)]) -> Vec<Field> {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some((c, plan)) = items.get(i) else { break };
                 let field = c.retrieve_with(plan, &ExecPolicy::serial());
-                slots.lock().expect("batch slot lock poisoned")[i] = Some(field);
+                // See `compress_many`: poison implies a worker panic that
+                // the scope re-raises on join.
+                slots.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(field);
             });
         }
     });
-    out.into_iter().map(|f| f.expect("every batch slot filled")).collect()
+    let filled: Vec<Field> = out.into_iter().flatten().collect();
+    assert_eq!(filled.len(), items.len(), "batch worker left a slot unfilled");
+    filled
 }
 
 #[cfg(test)]
@@ -825,7 +836,10 @@ mod tests {
         assert_eq!(batch.len(), fields.len());
         for (f, c) in fields.iter().zip(&batch) {
             let one = Compressed::compress(f, &cfg);
-            assert_eq!(crate::persist::to_bytes(c), crate::persist::to_bytes(&one));
+            assert_eq!(
+                crate::persist::to_bytes(c).unwrap(),
+                crate::persist::to_bytes(&one).unwrap()
+            );
             assert_eq!(c.timestep(), f.timestep());
         }
     }
@@ -860,9 +874,9 @@ mod tests {
         field.data_mut()[n - 1] = f64::NEG_INFINITY;
         let c = Compressed::compress(&field, &CompressConfig::default());
         assert!(c.value_range().is_finite());
-        let bytes = crate::persist::to_bytes(&c);
+        let bytes = crate::persist::to_bytes(&c).unwrap();
         let back = crate::persist::from_bytes(&bytes).expect("non-finite input roundtrips");
-        assert_eq!(crate::persist::to_bytes(&back), bytes);
+        assert_eq!(crate::persist::to_bytes(&back).unwrap(), bytes);
         // The reconstruction stays finite everywhere.
         let full = back.retrieve(&back.plan_full());
         assert!(full.data().iter().all(|v| v.is_finite()));

@@ -12,12 +12,10 @@
 //! `L-1` is the finest detail shell. Level `j > 0` holds the details created
 //! at decomposition step `s = (L-1) - j`.
 
-use crate::exec::{ExecPolicy, SendPtr};
+use crate::exec::ExecPolicy;
 use crate::transform::{forward_line, inverse_line, LineScratch};
 use pmr_field::Shape;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Barrier;
 
 /// Which multilevel transform to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -270,17 +268,28 @@ impl Decomposer {
         exec.resolved_threads().min(max_chunks)
     }
 
-    /// Execute a sequence of `(step, dimension)` transform phases on a pool
-    /// of `threads` scoped workers.
+    /// Execute a sequence of `(step, dimension)` transform phases across
+    /// `threads` scoped workers, entirely in safe code.
     ///
     /// Within one phase every strided line is independent: line `li` owns the
     /// index set `{base(li) + k * stride}`, and distinct `li` produce disjoint
-    /// sets, so workers may scatter through a shared raw pointer. Phases are
-    /// separated by a [`Barrier`] because phase `p + 1` reads what phase `p`
-    /// wrote. Work is claimed from a per-phase atomic cursor in fixed-size
-    /// chunks; since each line's transform is self-contained, the assignment
-    /// of chunks to threads cannot affect the result — parallel output is
-    /// bit-identical to serial output.
+    /// sets. Instead of sharing a raw pointer, each phase *splits* the buffer
+    /// into disjoint `&mut` windows with `chunks_mut` so the borrow checker
+    /// proves the disjointness:
+    ///
+    /// - When a line's elements are contiguous enough to fit inside its own
+    ///   `st1`-wide window (the stride-1 dimension of each step), the phase
+    ///   runs **in place**: nested `chunks_mut(st2)` / `chunks_mut(st1)`
+    ///   yields one exclusive window per line.
+    /// - Otherwise lines interleave in memory, and the phase runs **two-pass**
+    ///   through a scratch buffer: pass 1 gathers and transforms every line
+    ///   into a line-contiguous scratch slot (reading the buffer shared),
+    ///   pass 2 scatters scratch back through disjoint element windows.
+    ///
+    /// Work is dealt to threads in fixed `chunk_lines`-sized runs decided
+    /// purely by line index, and each line's transform is self-contained, so
+    /// the assignment of lines to threads cannot affect the result — parallel
+    /// output is bit-identical to serial output.
     fn run_phases_parallel(
         &self,
         data: &mut [f64],
@@ -290,55 +299,146 @@ impl Decomposer {
         threads: usize,
     ) {
         let chunk = exec.resolved_chunk_lines().max(1);
-        let jobs: Vec<Option<PhaseJob>> =
-            phases.iter().map(|&(s, d)| self.phase_job(s, d)).collect();
-        let cursors: Vec<AtomicUsize> = jobs.iter().map(|_| AtomicUsize::new(0)).collect();
-        let barrier = Barrier::new(threads);
-        let ptr = SendPtr(data.as_mut_ptr());
+        let mut scratch_buf: Vec<f64> = Vec::new();
+        for &(s, d) in phases {
+            let Some(j) = self.phase_job(s, d) else {
+                continue;
+            };
+            // A line fits in its own st1 window iff its last element lands
+            // before the next line's base; the slab condition below then
+            // guarantees i2 slabs stay inside their st2 windows too.
+            let line_contained = (j.m - 1) * j.stride < j.st1;
+            let slab_contained = (j.m1 - 1) * j.st1 + (j.m - 1) * j.stride < j.st2;
+            if line_contained && slab_contained {
+                self.phase_in_place(data, j, forward, threads, chunk);
+            } else {
+                self.phase_two_pass(data, j, forward, threads, chunk, &mut scratch_buf);
+            }
+        }
+    }
+
+    /// One transform phase where every line owns a contiguous-enough window:
+    /// split the buffer into per-line `&mut` windows and transform in place.
+    fn phase_in_place(
+        &self,
+        data: &mut [f64],
+        j: PhaseJob,
+        forward: bool,
+        threads: usize,
+        chunk: usize,
+    ) {
+        let mut lines: Vec<&mut [f64]> = Vec::with_capacity(j.m1 * j.m2);
+        for slab in data.chunks_mut(j.st2).take(j.m2) {
+            lines.extend(slab.chunks_mut(j.st1).take(j.m1));
+        }
+        let buckets = deal(lines, threads, chunk);
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let (jobs, cursors, barrier) = (&jobs, &cursors, &barrier);
+            for bucket in buckets {
                 scope.spawn(move || {
-                    let ptr = ptr;
                     let mut scratch = LineScratch::new();
-                    let mut line: Vec<f64> = Vec::new();
-                    for (job, cursor) in jobs.iter().zip(cursors) {
-                        if let Some(j) = job {
-                            let total = j.m1 * j.m2;
-                            line.resize(j.m, 0.0);
-                            loop {
-                                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                                if start >= total {
-                                    break;
-                                }
-                                for li in start..(start + chunk).min(total) {
-                                    let base = (li % j.m1) * j.st1 + (li / j.m1) * j.st2;
-                                    // SAFETY: line `li` reads and writes only
-                                    // `{base + k * stride | k < m}`, disjoint
-                                    // from every other line of this phase.
-                                    unsafe {
-                                        for (k, v) in line.iter_mut().enumerate() {
-                                            *v = *ptr.0.add(base + k * j.stride);
-                                        }
-                                    }
-                                    if forward {
-                                        forward_line(&mut line, self.mode, &mut scratch);
-                                    } else {
-                                        inverse_line(&mut line, self.mode, &mut scratch);
-                                    }
-                                    unsafe {
-                                        for (k, v) in line.iter().enumerate() {
-                                            *ptr.0.add(base + k * j.stride) = *v;
-                                        }
-                                    }
-                                }
-                            }
+                    let mut line = vec![0.0f64; j.m];
+                    for win in bucket {
+                        for (k, v) in line.iter_mut().enumerate() {
+                            *v = win[k * j.stride];
                         }
-                        barrier.wait();
+                        if forward {
+                            forward_line(&mut line, self.mode, &mut scratch);
+                        } else {
+                            inverse_line(&mut line, self.mode, &mut scratch);
+                        }
+                        for (k, v) in line.iter().enumerate() {
+                            win[k * j.stride] = *v;
+                        }
                     }
                 });
             }
         });
+    }
+
+    /// One transform phase whose lines interleave in memory. Pass 1 gathers
+    /// each line from the (shared, read-only) buffer into a line-contiguous
+    /// scratch slot and transforms it there; pass 2 scatters scratch back
+    /// through disjoint `chunks_mut` element windows.
+    fn phase_two_pass(
+        &self,
+        data: &mut [f64],
+        j: PhaseJob,
+        forward: bool,
+        threads: usize,
+        chunk: usize,
+        scratch_buf: &mut Vec<f64>,
+    ) {
+        let nlines = j.m1 * j.m2;
+        scratch_buf.clear();
+        scratch_buf.resize(nlines * j.m, 0.0);
+
+        // Pass 1: transform every line into its scratch slot.
+        {
+            let data_ro: &[f64] = data;
+            let slots: Vec<(usize, &mut [f64])> = scratch_buf.chunks_mut(j.m).enumerate().collect();
+            let buckets = deal(slots, threads, chunk);
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        let mut scratch = LineScratch::new();
+                        for (li, slot) in bucket {
+                            let base = (li % j.m1) * j.st1 + (li / j.m1) * j.st2;
+                            for (k, v) in slot.iter_mut().enumerate() {
+                                *v = data_ro[base + k * j.stride];
+                            }
+                            if forward {
+                                forward_line(slot, self.mode, &mut scratch);
+                            } else {
+                                inverse_line(slot, self.mode, &mut scratch);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        // Pass 2: scatter scratch back. Element `k` of every line lands in
+        // the `k`-th stride-wide window (nested inside st2 slabs when the
+        // line stride is not the outermost step of this phase).
+        let scratch_ro: &[f64] = scratch_buf;
+        if j.stride > j.st2 {
+            // Line stride is outermost: window w holds element w of every
+            // line at local offset i1*st1 + i2*st2.
+            let wins: Vec<(usize, &mut [f64])> =
+                data.chunks_mut(j.stride).take(j.m).enumerate().collect();
+            let buckets = deal(wins, threads, chunk);
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for (k, win) in bucket {
+                            for li in 0..nlines {
+                                let off = (li % j.m1) * j.st1 + (li / j.m1) * j.st2;
+                                win[off] = scratch_ro[li * j.m + k];
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            // st2 is outermost: split into i2 slabs, then element windows
+            // inside each slab; element k of line (i1, i2) sits at i1*st1.
+            let slabs: Vec<(usize, &mut [f64])> =
+                data.chunks_mut(j.st2).take(j.m2).enumerate().collect();
+            let buckets = deal(slabs, threads, chunk);
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for (i2, slab) in bucket {
+                            for (k, win) in slab.chunks_mut(j.stride).take(j.m).enumerate() {
+                                for i1 in 0..j.m1 {
+                                    win[i1 * j.st1] = scratch_ro[(i2 * j.m1 + i1) * j.m + k];
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
     }
 
     /// Coefficient level of the node at `(x, y, z)` under the convention
@@ -396,6 +496,20 @@ impl Decomposer {
     }
 }
 
+/// Deal work items into per-thread buckets, `chunk` consecutive items at a
+/// time, round-robin. The mapping is a pure function of the item index, so
+/// identical inputs always land on identical buckets regardless of runtime
+/// scheduling; empty buckets are dropped so no idle thread is spawned.
+fn deal<T>(items: Vec<T>, threads: usize, chunk: usize) -> Vec<Vec<T>> {
+    let n = threads.max(1);
+    let mut buckets: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[(i / chunk) % n].push(item);
+    }
+    buckets.retain(|b| !b.is_empty());
+    buckets
+}
+
 /// Number of active points along a dimension of extent `n` at step `s`:
 /// `ceil(n / 2^s)`.
 pub fn active_size(n: usize, s: usize) -> usize {
@@ -418,12 +532,15 @@ struct PhaseJob {
     m2: usize,
 }
 
+/// The two grid dimensions other than `d`, in ascending order. Total over
+/// `usize` so phase construction stays panic-free; callers only ever pass
+/// `0..3`.
 fn other_dims(d: usize) -> (usize, usize) {
+    debug_assert!(d < 3, "dimension out of range");
     match d {
         0 => (1, 2),
         1 => (0, 2),
-        2 => (0, 1),
-        _ => panic!("dimension out of range"),
+        _ => (0, 1),
     }
 }
 

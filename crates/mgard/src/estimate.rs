@@ -51,8 +51,9 @@ pub fn theory_constants(dec: &Decomposer) -> Vec<f64> {
     // Level j > 0 is consumed at step s = steps - j.
     for j in 1..dec.levels() {
         let s = steps - j;
-        let d = dec.active_dims_at_step(s);
-        constants.push(kappa.powi(d as i32));
+        // At most 3 dimensions are ever active; the fallback is the cap.
+        let d = i32::try_from(dec.active_dims_at_step(s)).unwrap_or(3);
+        constants.push(kappa.powi(d));
     }
     constants
 }

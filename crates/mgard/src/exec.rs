@@ -87,21 +87,6 @@ impl ExecPolicy {
     }
 }
 
-/// Raw pointer wrapper so scoped worker threads can scatter into disjoint
-/// regions of one buffer.
-///
-/// # Safety
-///
-/// Only sound when every thread writes a disjoint set of elements and reads
-/// nothing another thread writes; the transform passes guarantee this because
-/// each strided line touches an index set unique to its `(i1, i2)` cross
-/// coordinates.
-#[derive(Clone, Copy)]
-pub(crate) struct SendPtr(pub *mut f64);
-
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-
 #[cfg(test)]
 mod tests {
     use super::*;

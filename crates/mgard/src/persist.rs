@@ -29,7 +29,7 @@ use crate::bitplane::LevelEncoding;
 use crate::checksum::fnv1a64;
 use crate::compress::Compressed;
 use crate::decompose::{Decomposer, TransformMode};
-use pmr_error::PmrError;
+use pmr_error::{len_u32, PmrError};
 use pmr_field::Shape;
 use std::fs;
 use std::io::{self, Read, Write};
@@ -44,19 +44,19 @@ fn malformed(detail: &str) -> PmrError {
     PmrError::malformed("mgard artifact", detail)
 }
 
-fn encode(c: &Compressed, checksummed: bool) -> Vec<u8> {
+fn encode(c: &Compressed, checksummed: bool) -> Result<Vec<u8>, PmrError> {
     let mut out = Vec::with_capacity(c.total_bytes() as usize + 4096);
     out.extend_from_slice(if checksummed { MAGIC_V2 } else { MAGIC_V1 });
     let name = c.name().as_bytes();
-    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len_u32(name.len(), "field name length")?.to_le_bytes());
     out.extend_from_slice(name);
     out.extend_from_slice(&(c.timestep() as u64).to_le_bytes());
     let shape = c.shape();
-    out.extend_from_slice(&(shape.ndim() as u32).to_le_bytes());
+    out.extend_from_slice(&len_u32(shape.ndim(), "ndim")?.to_le_bytes());
     for d in 0..3 {
-        out.extend_from_slice(&(shape.dim(d) as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32(shape.dim(d), "grid dimension")?.to_le_bytes());
     }
-    out.extend_from_slice(&(c.num_levels() as u32).to_le_bytes());
+    out.extend_from_slice(&len_u32(c.num_levels(), "level count")?.to_le_bytes());
     out.push(match c.decomposer().mode() {
         TransformMode::Interpolation => 0,
         TransformMode::L2Projection => 1,
@@ -71,20 +71,24 @@ fn encode(c: &Compressed, checksummed: bool) -> Vec<u8> {
         }
     }
     for lvl in c.levels() {
-        out.extend_from_slice(&lvl.to_bytes());
+        out.extend_from_slice(&lvl.to_bytes()?);
     }
-    out
+    Ok(out)
 }
 
 /// Serialize an artifact to bytes in the current checksummed format.
-pub fn to_bytes(c: &Compressed) -> Vec<u8> {
+///
+/// Fails with [`PmrError::Corrupt`] if a length no longer fits its `u32`
+/// wire field — the cast-and-wrap alternative would silently persist an
+/// artifact that cannot round-trip.
+pub fn to_bytes(c: &Compressed) -> Result<Vec<u8>, PmrError> {
     encode(c, true)
 }
 
 /// Serialize in the legacy `PMRC1` layout (no checksum table). Exists so
 /// the backward-compat path stays testable; new artifacts should use
 /// [`to_bytes`].
-pub fn to_bytes_legacy_v1(c: &Compressed) -> Vec<u8> {
+pub fn to_bytes_legacy_v1(c: &Compressed) -> Result<Vec<u8>, PmrError> {
     encode(c, false)
 }
 
@@ -194,8 +198,8 @@ pub fn from_bytes(buf: &[u8]) -> Result<Compressed, PmrError> {
                     ),
                 ));
             }
-            for (k, &expect) in row.iter().enumerate() {
-                let got = fnv1a64(enc.plane_payload(k as u32));
+            for (&expect, k) in row.iter().zip(0..enc.num_planes()) {
+                let got = fnv1a64(enc.plane_payload(k));
                 if got != expect {
                     return Err(PmrError::malformed(
                         "mgard artifact",
@@ -222,8 +226,9 @@ pub fn save(c: &Compressed, path: &Path) -> Result<(), PmrError> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent).map_err(io_err)?;
     }
+    let bytes = to_bytes(c)?;
     let mut f = io::BufWriter::new(fs::File::create(path).map_err(io_err)?);
-    f.write_all(&to_bytes(c)).map_err(io_err)?;
+    f.write_all(&bytes).map_err(io_err)?;
     f.flush().map_err(io_err)
 }
 
@@ -258,7 +263,7 @@ mod tests {
     #[test]
     fn bytes_roundtrip_preserves_retrieval() {
         let (field, c) = artifact();
-        let rt = from_bytes(&to_bytes(&c)).expect("roundtrip");
+        let rt = from_bytes(&to_bytes(&c).expect("serialize")).expect("roundtrip");
         assert_eq!(rt.name(), "J_x");
         assert_eq!(rt.timestep(), 11);
         assert_eq!(rt.num_levels(), c.num_levels());
@@ -278,14 +283,14 @@ mod tests {
     #[test]
     fn legacy_v1_blobs_still_load() {
         let (_, c) = artifact();
-        let v1 = to_bytes_legacy_v1(&c);
+        let v1 = to_bytes_legacy_v1(&c).expect("serialize");
         assert_eq!(&v1[..6], MAGIC_V1);
         let rt = from_bytes(&v1).expect("legacy load");
         assert_eq!(rt.total_bytes(), c.total_bytes());
         let plan = c.plan_theory(c.absolute_bound(1e-4));
         assert_eq!(c.retrieve(&plan).data(), rt.retrieve(&plan).data());
         // The two wire versions differ only by magic + checksum table.
-        let v2 = to_bytes(&c);
+        let v2 = to_bytes(&c).expect("serialize");
         let table: usize = c.levels().iter().map(|l| 4 + 8 * l.num_planes() as usize).sum();
         assert_eq!(v2.len(), v1.len() + table);
     }
@@ -293,7 +298,7 @@ mod tests {
     #[test]
     fn tampered_checksum_entry_detected() {
         let (_, c) = artifact();
-        let mut bytes = to_bytes(&c);
+        let mut bytes = to_bytes(&c).expect("serialize");
         // First digest byte of level 0's table row (skip its u32 count).
         let at = table_offset(&c) + 4;
         bytes[at] ^= 0xFF;
@@ -304,7 +309,7 @@ mod tests {
     #[test]
     fn payload_bit_flip_detected() {
         let (_, c) = artifact();
-        let bytes = to_bytes(&c);
+        let bytes = to_bytes(&c).expect("serialize");
         // Flip one bit in the last payload byte of the buffer — deep inside
         // the final level's plane data, past every header field.
         let mut bad = bytes.clone();
@@ -327,7 +332,7 @@ mod tests {
     #[test]
     fn corrupted_inputs_rejected_without_panic() {
         let (_, c) = artifact();
-        let bytes = to_bytes(&c);
+        let bytes = to_bytes(&c).expect("serialize");
         assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
         assert!(from_bytes(&[]).is_err());
         let mut bad_magic = bytes.clone();
@@ -343,7 +348,7 @@ mod tests {
     #[test]
     fn truncated_tail_rejected() {
         let (_, c) = artifact();
-        let mut bytes = to_bytes(&c);
+        let mut bytes = to_bytes(&c).expect("serialize");
         bytes.push(0); // trailing garbage
         assert!(from_bytes(&bytes).is_err());
     }

@@ -148,7 +148,7 @@ proptest! {
     ) {
         let serial = LevelEncoding::encode(&coeffs, planes);
         let par = LevelEncoding::encode_with(&coeffs, planes, &ExecPolicy::with_threads(threads));
-        prop_assert_eq!(par.to_bytes(), serial.to_bytes());
+        prop_assert_eq!(par.to_bytes().unwrap(), serial.to_bytes().unwrap());
         let serial_row: Vec<u64> = serial.error_row().iter().map(|v| v.to_bits()).collect();
         let par_row: Vec<u64> = par.error_row().iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(par_row, serial_row);
@@ -192,7 +192,7 @@ proptest! {
             prop_assert!(enc.decode(b).iter().all(|&v| v == 0.0));
             prop_assert_eq!(enc.error_at(b), 0.0);
         }
-        let bytes = enc.to_bytes();
+        let bytes = enc.to_bytes().unwrap();
         let (back, used) = LevelEncoding::from_bytes(&bytes).expect("degenerate level persists");
         prop_assert_eq!(used, bytes.len());
         prop_assert!(back.decode(planes).iter().all(|&v| v == 0.0));
@@ -216,10 +216,10 @@ proptest! {
         prop_assert!(dec.iter().all(|v| v.is_finite()));
         prop_assert!(enc.error_row().iter().all(|e| e.is_finite()));
         // The artifact persists and round-trips despite the NaN input.
-        let bytes = enc.to_bytes();
+        let bytes = enc.to_bytes().unwrap();
         let (back, used) = LevelEncoding::from_bytes(&bytes).expect("NaN-laced level persists");
         prop_assert_eq!(used, bytes.len());
-        prop_assert_eq!(back.to_bytes(), bytes);
+        prop_assert_eq!(back.to_bytes().unwrap(), bytes);
     }
 
     #[test]
@@ -271,7 +271,7 @@ proptest! {
             (h >> 11) as f64 / (1u64 << 53) as f64
         });
         let c = Compressed::compress(&field, &CompressConfig { levels: 3, ..Default::default() });
-        let mut bytes = pmr_mgard::persist::to_bytes(&c);
+        let mut bytes = pmr_mgard::persist::to_bytes(&c).unwrap();
         for (pos, val) in flips {
             let n = bytes.len();
             bytes[pos % n] ^= val;

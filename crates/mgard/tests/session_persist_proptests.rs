@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn persistence_roundtrip_any_artifact(field in arb_field(), cfg in arb_config()) {
         let c = Compressed::compress(&field, &cfg);
-        let rt = persist::from_bytes(&persist::to_bytes(&c)).expect("roundtrip");
+        let rt = persist::from_bytes(&persist::to_bytes(&c).expect("serialize")).expect("roundtrip");
         prop_assert_eq!(rt.num_levels(), c.num_levels());
         let plan = c.plan_theory(c.absolute_bound(1e-3));
         let plan_rt = rt.plan_theory(rt.absolute_bound(1e-3));
@@ -63,7 +63,7 @@ proptest! {
         new_byte in any::<u8>(),
     ) {
         let c = Compressed::compress(&field, &CompressConfig::default());
-        let mut bytes = persist::to_bytes(&c);
+        let mut bytes = persist::to_bytes(&c).expect("serialize");
         let idx = flip_at.index(bytes.len());
         bytes[idx] = new_byte;
         if let Ok(rt) = persist::from_bytes(&bytes) {

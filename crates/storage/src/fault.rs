@@ -16,7 +16,7 @@
 
 use crate::segment::{FetchError, SegmentKey, SegmentRead, SegmentStore};
 use pmr_error::PmrError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Probabilities (per attempt, except `permanent` which is per segment) and
@@ -150,7 +150,10 @@ fn mix(mut z: u64) -> u64 {
 pub struct FaultInjector<S> {
     inner: S,
     cfg: FaultConfig,
-    attempts: Mutex<HashMap<SegmentKey, u32>>,
+    // BTreeMap keeps every traversal of the counter table ordered — the
+    // fault schedule itself is order-free by design, but nothing downstream
+    // should ever observe map-iteration nondeterminism.
+    attempts: Mutex<BTreeMap<SegmentKey, u32>>,
     log: Mutex<Vec<FaultEvent>>,
 }
 
@@ -160,7 +163,7 @@ impl<S: SegmentStore> FaultInjector<S> {
         Ok(FaultInjector {
             inner,
             cfg,
-            attempts: Mutex::new(HashMap::new()),
+            attempts: Mutex::new(BTreeMap::new()),
             log: Mutex::new(Vec::new()),
         })
     }
@@ -189,18 +192,21 @@ impl<S: SegmentStore> FaultInjector<S> {
             .wrapping_add(attempt as u64))
     }
 
+    // Lock-poison recovery below is sound: both tables hold plain data, and
+    // the panic that poisoned them propagates through the thread that
+    // caused it regardless.
     fn record(&self, key: SegmentKey, attempt: u32, kind: FaultKind) {
-        self.log.lock().expect("fault log poisoned").push(FaultEvent { key, attempt, kind });
+        self.log.lock().unwrap_or_else(|p| p.into_inner()).push(FaultEvent { key, attempt, kind });
     }
 
     /// The faults injected so far, in fetch order.
     pub fn log(&self) -> Vec<FaultEvent> {
-        self.log.lock().expect("fault log poisoned").clone()
+        self.log.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     /// Attempts issued per segment so far.
     pub fn attempts(&self, key: SegmentKey) -> u32 {
-        *self.attempts.lock().expect("attempt map poisoned").get(&key).unwrap_or(&0)
+        *self.attempts.lock().unwrap_or_else(|p| p.into_inner()).get(&key).unwrap_or(&0)
     }
 
     pub fn config(&self) -> &FaultConfig {
@@ -215,7 +221,7 @@ impl<S: SegmentStore> FaultInjector<S> {
 impl<S: SegmentStore> SegmentStore for FaultInjector<S> {
     fn fetch(&self, key: SegmentKey) -> Result<SegmentRead, FetchError> {
         let attempt = {
-            let mut map = self.attempts.lock().expect("attempt map poisoned");
+            let mut map = self.attempts.lock().unwrap_or_else(|p| p.into_inner());
             let n = map.entry(key).or_insert(0);
             *n += 1;
             *n
@@ -258,7 +264,8 @@ impl<S: SegmentStore> SegmentStore for FaultInjector<S> {
         {
             let e = self.entropy(SALT_BITFLIP, key, attempt);
             let byte = (e as usize) % read.bytes.len();
-            let bit = ((e >> 48) % 8) as u8;
+            // `% 8` bounds the value; the fallback is the modulus cap.
+            let bit = u8::try_from((e >> 48) % 8).unwrap_or(7);
             read.bytes[byte] ^= 1 << bit;
             self.record(key, attempt, FaultKind::BitFlip { byte, bit });
         }
@@ -334,13 +341,13 @@ mod tests {
         let backward =
             FaultInjector::new(MemStore::from_compressed(&c), FaultConfig::flaky(11)).unwrap();
         let keys = forward.keys();
-        let mut fw: HashMap<SegmentKey, Vec<_>> = HashMap::new();
+        let mut fw: BTreeMap<SegmentKey, Vec<_>> = BTreeMap::new();
         for &key in &keys {
             for _ in 0..2 {
                 fw.entry(key).or_default().push(forward.fetch(key).map(|r| r.bytes));
             }
         }
-        let mut bw: HashMap<SegmentKey, Vec<_>> = HashMap::new();
+        let mut bw: BTreeMap<SegmentKey, Vec<_>> = BTreeMap::new();
         for &key in keys.iter().rev() {
             for _ in 0..2 {
                 bw.entry(key).or_default().push(backward.fetch(key).map(|r| r.bytes));

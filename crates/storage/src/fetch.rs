@@ -83,7 +83,8 @@ impl RetryPolicy {
     /// Backoff charged before attempt `attempt + 1` (so `attempt` >= 1),
     /// with deterministic per-segment jitter.
     pub fn backoff_s(&self, key: SegmentKey, attempt: u32) -> f64 {
-        let raw = self.base_backoff_s * self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        let exponent = i32::try_from(attempt.saturating_sub(1)).unwrap_or(i32::MAX);
+        let raw = self.base_backoff_s * self.multiplier.powi(exponent);
         let capped = raw.min(self.max_backoff_s);
         // splitmix-style hash of (key, attempt) -> factor in [1-j, 1+j].
         let mut z = ((key.0 as u64) << 40)
@@ -288,7 +289,10 @@ impl<'a> FetchExecutor<'a> {
             last_err = Some(err);
         }
         self.stats.lost_segments += 1;
-        Err(last_err.expect("max_attempts >= 1 guarantees at least one attempt"))
+        // `RetryPolicy::try_new` rejects `max_attempts == 0`, so the loop
+        // always runs; the fallback only defends against a future policy
+        // that never attempts anything.
+        Err(last_err.unwrap_or(FetchError::Missing { level, plane }))
     }
 }
 

@@ -8,7 +8,7 @@
 //! and simulation, [`FileStore`] for a directory of per-segment files);
 //! fault injection and retry wrap this trait without the backends knowing.
 
-use pmr_error::PmrError;
+use pmr_error::{len_u32, PmrError};
 use pmr_mgard::checksum::fnv1a64;
 use pmr_mgard::Compressed;
 use std::collections::BTreeMap;
@@ -190,9 +190,11 @@ impl FileStore {
                 let path = Self::seg_path(dir, (l, k));
                 let mut buf = Vec::with_capacity(payload.len() + 32);
                 buf.extend_from_slice(SEG_MAGIC);
-                buf.extend_from_slice(&(l as u32).to_le_bytes());
+                buf.extend_from_slice(&len_u32(l, "segment level index")?.to_le_bytes());
                 buf.extend_from_slice(&k.to_le_bytes());
-                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(
+                    &len_u32(payload.len(), "segment payload length")?.to_le_bytes(),
+                );
                 buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
                 buf.extend_from_slice(payload);
                 let mut f = fs::File::create(&path).map_err(|e| PmrError::io_at(&path, e))?;
@@ -251,13 +253,26 @@ impl SegmentStore for FileStore {
         if buf.len() < 26 || &buf[..6] != SEG_MAGIC {
             return Err(corrupt("bad segment header"));
         }
-        let hdr_level = u32::from_le_bytes(buf[6..10].try_into().expect("slice is 4 bytes"));
-        let hdr_plane = u32::from_le_bytes(buf[10..14].try_into().expect("slice is 4 bytes"));
+        // Header length was checked above; a failed slice access still
+        // reads as corruption rather than a panic.
+        let word4 = |at: usize| -> Result<u32, FetchError> {
+            let bytes: [u8; 4] = buf
+                .get(at..at + 4)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| corrupt("bad segment header"))?;
+            Ok(u32::from_le_bytes(bytes))
+        };
+        let hdr_level = word4(6)?;
+        let hdr_plane = word4(10)?;
         if hdr_level as usize != level || hdr_plane != plane {
             return Err(corrupt("segment header names a different (level, plane)"));
         }
-        let len = u32::from_le_bytes(buf[14..18].try_into().expect("slice is 4 bytes")) as usize;
-        let sum = u64::from_le_bytes(buf[18..26].try_into().expect("slice is 8 bytes"));
+        let len = word4(14)? as usize;
+        let sum_bytes: [u8; 8] = buf
+            .get(18..26)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| corrupt("bad segment header"))?;
+        let sum = u64::from_le_bytes(sum_bytes);
         let payload = &buf[26..];
         if payload.len() != len {
             return Err(corrupt(&format!(

@@ -83,6 +83,13 @@ impl TolerantRetrieval {
     }
 }
 
+/// Number of plane payloads held for one level, as the `u32` plane count
+/// the planner speaks. Levels hold at most `num_planes <= 50` payloads, so
+/// the saturating fallback is unreachable.
+fn held(payloads: &[Vec<u8>]) -> u32 {
+    u32::try_from(payloads.len()).unwrap_or(u32::MAX)
+}
+
 /// Execute `plan` against `store` with retries, checksum verification, and
 /// graceful degradation. `requested_bound` is what the caller originally
 /// asked for — it parameterises the compensating re-plan and the degraded
@@ -119,8 +126,8 @@ pub fn fetch_plan_tolerant(
 
     for round in 0..=cfg.max_replan_rounds {
         for (l, lvl) in levels.iter().enumerate() {
-            while (payloads[l].len() as u32) < target[l].min(caps[l]) {
-                let k = payloads[l].len() as u32;
+            while held(&payloads[l]) < target[l].min(caps[l]) {
+                let k = held(&payloads[l]);
                 let expect = ExpectedSegment::of(lvl.plane_payload(k));
                 match exec.fetch_verified((l, k), expect) {
                     Ok(bytes) => payloads[l].push(bytes),
@@ -134,7 +141,7 @@ pub fn fetch_plan_tolerant(
             }
         }
         let all_met =
-            payloads.iter().zip(&target).zip(&caps).all(|((p, &t), &c)| p.len() as u32 >= t.min(c));
+            payloads.iter().zip(&target).zip(&caps).all(|((p, &t), &c)| held(p) >= t.min(c));
         debug_assert!(all_met, "fetch loop drains every level to its capped target");
         let any_capped_below_target = target.iter().zip(&caps).any(|(&t, &c)| c < t);
         if !any_capped_below_target || !cfg.replan || round == cfg.max_replan_rounds {
@@ -142,7 +149,7 @@ pub fn fetch_plan_tolerant(
         }
         // Compensate: keep what we hold, never ask past a dead prefix, and
         // spend extra planes at surviving levels to chase the bound.
-        let floor: Vec<u32> = payloads.iter().map(|p| p.len() as u32).collect();
+        let floor: Vec<u32> = payloads.iter().map(|p| held(p)).collect();
         let next =
             greedy_plan_capped(levels, manifest.theory_constants(), requested_bound, &floor, &caps);
         if next.planes == floor {
@@ -152,7 +159,7 @@ pub fn fetch_plan_tolerant(
         replanned = true;
     }
 
-    let achieved: Vec<u32> = payloads.iter().map(|p| p.len() as u32).collect();
+    let achieved: Vec<u32> = payloads.iter().map(|p| held(p)).collect();
     let field = manifest.retrieve_from_payloads(&payloads)?;
     let estimated_error = manifest.estimate_for(&achieved);
     let degraded = if lost.is_empty() {

@@ -40,7 +40,9 @@ fn main() {
     );
     for t in snapshots / 2..snapshots {
         let field = warpx_field(&wcfg, WarpXField::Jx, t);
-        for row in compare_on_field(&field, &models, &cfg, &[1e-3, 1e-5]) {
+        let rows = compare_on_field(&field, &models, &cfg, &[1e-3, 1e-5])
+            .expect("trained models match the artifact");
+        for row in rows {
             println!(
                 "{:>4} {:>9.0e} {:>10} {:>10} {:>10} {:>8.1}% {:>8.1}%",
                 row.timestep,

@@ -10,11 +10,13 @@
 //! pmrtool conformance [--grid quick|full] [--seed N] [--golden <dir>]
 //!                     [--regen-golden] [--golden-only] [--report <path>]
 //! pmrtool faultsim [--grid quick|full] [--seed N] [--report <path>]
+//! pmrtool analyze [--root <dir>] [--config <analyze.toml>] [--report <path>]
 //! ```
 //!
 //! Field files use the `pmr-field` binary format (`.pmrf`); artifacts the
 //! `pmr-mgard` persistence format (`.pmrc`).
 
+use pmr::analyze::{self, AnalyzeConfig};
 use pmr::blockcodec::{persist as block_persist, BlockCompressed, BlockConfig};
 use pmr::conformance::{self, FaultGridConfig, SweepConfig};
 use pmr::field::io as field_io;
@@ -46,6 +48,7 @@ const USAGE: &str = "usage:
   pmrtool conformance [--grid quick|full] [--seed N] [--golden <dir>]
                       [--regen-golden] [--golden-only] [--report <path>]
   pmrtool faultsim [--grid quick|full] [--seed N] [--report <path>]
+  pmrtool analyze [--root <dir>] [--config <analyze.toml>] [--report <path>]
 
 artifact files are self-describing: retrieve/info dispatch on the magic
 (multilevel .pmrc vs block-codec .pmrb).";
@@ -58,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("info") => info(&args[1..]),
         Some("conformance") => run_conformance(&args[1..]),
         Some("faultsim") => run_faultsim(&args[1..]),
+        Some("analyze") => run_analyze(&args[1..]),
         _ => Err("missing or unknown subcommand".into()),
     }
 }
@@ -350,6 +354,29 @@ fn run_faultsim(args: &[String]) -> Result<(), String> {
             eprintln!("FAIL: {f}");
         }
         Err(format!("{} fault-injection check(s) failed", report.failures.len()))
+    }
+}
+
+fn run_analyze(args: &[String]) -> Result<(), String> {
+    let root = PathBuf::from(flag_value(args, "--root")?.unwrap_or("."));
+    let config_path = match flag_value(args, "--config")? {
+        Some(p) => PathBuf::from(p),
+        None => root.join("analyze.toml"),
+    };
+    let cfg = AnalyzeConfig::load(&config_path).map_err(|e| e.to_string())?;
+    let report = analyze::analyze_workspace(&root, &cfg).map_err(|e| e.to_string())?;
+    print!("{}", report.summary());
+    if let Some(path) = flag_value(args, "--report")? {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote report to {path}");
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        // A lint failure is a normal, well-formatted outcome, not a CLI
+        // usage error — exit 1 without dumping the usage banner.
+        eprintln!("error: {} static-analysis violation(s)", report.violations.len());
+        std::process::exit(1);
     }
 }
 

@@ -17,11 +17,14 @@
 //! * [`core`] — D-MGARD and E-MGARD retrievers and the experiment runner
 //! * [`conformance`] — error-bound conformance sweeps, differential checks,
 //!   and golden-artifact verification (`pmrtool conformance`)
+//! * [`analyze`] — workspace static analysis: domain lints guarding the
+//!   error-bound contract (`pmrtool analyze`)
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory.
 
 pub use pmr_analysis as analysis;
+pub use pmr_analyze as analyze;
 pub use pmr_blockcodec as blockcodec;
 pub use pmr_codec as codec;
 pub use pmr_conformance as conformance;

@@ -263,3 +263,72 @@ fn faultsim_runs_the_quick_grid_and_writes_a_report() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn analyze_reports_violations_with_exit_1_and_stable_json() {
+    // Build a miniature workspace with one deliberate violation on a
+    // lint-scoped path and no analyze.toml (defaults apply).
+    let dir = tempdir("analyze");
+    let src = dir.join("crates/mgard/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(src.join("lib.rs"), "pub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }\n")
+        .unwrap();
+
+    let report = dir.join("analyze.json");
+    let run = || {
+        pmrtool()
+            .args(["analyze", "--root"])
+            .arg(&dir)
+            .arg("--report")
+            .arg(&report)
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("panic_path"), "summary names the lint: {stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("static-analysis violation"),
+        "stderr names the failure"
+    );
+    let json1 = std::fs::read_to_string(&report).expect("report written even on failure");
+    assert!(json1.contains("\"panic_path\": 1"), "{json1}");
+    assert!(json1.contains("crates/mgard/src/lib.rs"), "{json1}");
+
+    // The report is byte-stable across runs.
+    let out = run();
+    assert_eq!(out.status.code(), Some(1));
+    let json2 = std::fs::read_to_string(&report).unwrap();
+    assert_eq!(json1, json2, "analyze report must be deterministic");
+
+    // An allowlist entry flips the run green but keeps the audit trail.
+    std::fs::write(
+        dir.join("analyze.toml"),
+        "[[allow]]\nlint = \"panic_path\"\npath = \"crates/mgard/src/lib.rs\"\nreason = \"fixture\"\n",
+    )
+    .unwrap();
+    let out = run();
+    assert!(
+        out.status.success(),
+        "allowlisted run must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json3 = std::fs::read_to_string(&report).unwrap();
+    assert!(json3.contains("\"panic_path\": 0"), "{json3}");
+    assert!(json3.contains("\"reason\": \"fixture\""), "{json3}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_passes_on_this_workspace() {
+    // The repository itself must stay lint-clean under its own analyzer —
+    // the same invariant CI enforces.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = pmrtool().args(["analyze", "--root", root]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "workspace has unallowlisted violations:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

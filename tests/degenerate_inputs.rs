@@ -1,0 +1,67 @@
+//! Regression tests for the error-path hardening pass: degenerate and
+//! malformed inputs on the compress/retrieve/fetch paths must surface as
+//! `Err`, never as a panic inside library code.
+
+use pmr::field::{io as field_io, Field, Shape};
+use pmr::mgard::{persist, CompressConfig, Compressed, RetrievalPlan};
+use pmr::storage::{
+    ExpectedSegment, FetchError, FetchExecutor, MemStore, RetryPolicy, SegmentStore,
+};
+
+fn wave(n: usize) -> Field {
+    Field::from_fn("w", 0, Shape::cube(n), |x, y, z| {
+        ((x as f64) * 0.4).sin() + ((y as f64) * 0.3).cos() + (z as f64) * 0.02
+    })
+}
+
+#[test]
+fn zero_sized_field_bytes_are_an_error() {
+    // An empty buffer is the ultimate degenerate field file.
+    assert!(field_io::from_bytes(&[]).is_err());
+    // A header that claims data it does not carry must also fail cleanly.
+    let field = wave(5);
+    let bytes = field_io::to_bytes(&field);
+    for cut in [1, 8, bytes.len() / 2, bytes.len() - 1] {
+        assert!(field_io::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} must fail");
+    }
+}
+
+#[test]
+fn truncated_artifact_bytes_are_an_error() {
+    let c = Compressed::compress(&wave(9), &CompressConfig::default());
+    let bytes = persist::to_bytes(&c).expect("serialize");
+    assert!(persist::from_bytes(&[]).is_err());
+    for cut in [1, 4, 16, bytes.len() / 2, bytes.len() - 1] {
+        assert!(persist::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} must fail");
+    }
+}
+
+#[test]
+fn mismatched_plan_is_an_error_not_a_panic() {
+    let field = wave(9);
+    let c = Compressed::compress(&field, &CompressConfig::default());
+    // A plan for the wrong number of levels is a caller bug that must be
+    // reported, not a panic mid-retrieval.
+    let bad = RetrievalPlan { planes: vec![1; c.levels().len() + 2], estimated_error: 0.0 };
+    assert!(c.retrieve_measured(&bad, &field).is_err());
+    // A mismatched original (wrong shape) is equally an error.
+    let plan = c.plan_theory(c.absolute_bound(1e-2));
+    let wrong = wave(5);
+    assert!(c.retrieve_measured(&plan, &wrong).is_err());
+}
+
+#[test]
+fn fetch_from_emptied_store_reports_missing() {
+    // A store whose segments have all been lost has nothing to retry
+    // against: the executor must come back with `Missing`, not panic
+    // unwinding `last_err`.
+    let c = Compressed::compress(&wave(9), &CompressConfig::default());
+    let full = MemStore::from_compressed(&c);
+    let keys = full.keys();
+    let store = full.without(&keys);
+    let mut exec = FetchExecutor::new(&store, RetryPolicy::default());
+    let err = exec
+        .fetch_verified((0, 0), ExpectedSegment::of(c.levels()[0].plane_payload(0)))
+        .expect_err("emptied store cannot serve segments");
+    assert!(matches!(err, FetchError::Missing { .. }), "got {err:?}");
+}

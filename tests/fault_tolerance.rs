@@ -103,15 +103,19 @@ fn legacy_v1_golden_artifact_still_loads() {
 
     let c = persist::from_bytes(&blob).expect("v1 blob must keep loading");
     assert_eq!(c.name(), "poly-1d");
-    assert_eq!(persist::to_bytes_legacy_v1(&c), blob, "legacy writer must reproduce the fixture");
+    assert_eq!(
+        persist::to_bytes_legacy_v1(&c).expect("serialize"),
+        blob,
+        "legacy writer must reproduce the fixture"
+    );
 
     // The current writer upgrades it to a checksummed v2 blob that also
     // round-trips.
-    let v2 = persist::to_bytes(&c);
+    let v2 = persist::to_bytes(&c).expect("serialize");
     assert_eq!(&v2[..6], b"PMRC2\0");
     assert!(v2.len() > blob.len(), "v2 adds the checksum table");
     let reparsed = persist::from_bytes(&v2).expect("v2 round-trip");
-    assert_eq!(persist::to_bytes(&reparsed), v2);
+    assert_eq!(persist::to_bytes(&reparsed).unwrap(), v2);
 
     // And the decoded artifact still honours the theory contract.
     let bound = c.absolute_bound(1e-3);

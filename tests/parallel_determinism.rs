@@ -42,8 +42,8 @@ fn parallel_compression_is_bit_identical() {
         let cp = Compressed::compress(&field, &parallel_cfg());
 
         assert_eq!(
-            persist::to_bytes(&cs),
-            persist::to_bytes(&cp),
+            persist::to_bytes(&cs).expect("serialize"),
+            persist::to_bytes(&cp).expect("serialize"),
             "artifact bytes differ for {shape}"
         );
         for (ls, lp) in cs.levels().iter().zip(cp.levels()) {
@@ -82,7 +82,7 @@ fn batch_apis_match_individual_calls() {
     assert_eq!(batch.len(), fields.len());
     for (f, c) in fields.iter().zip(&batch) {
         let single = Compressed::compress(f, &cfg);
-        assert_eq!(persist::to_bytes(&single), persist::to_bytes(c));
+        assert_eq!(persist::to_bytes(&single).unwrap(), persist::to_bytes(c).unwrap());
     }
 
     let plans: Vec<RetrievalPlan> =

@@ -37,7 +37,7 @@ fn warpx_end_to_end_three_retrievers() {
     assert_eq!(records.len(), 3 * cfg.train_bounds.len());
 
     let test = warpx_field(&wcfg, WarpXField::Jx, 4);
-    let rows = compare_on_field(&test, &models, &cfg, &[1e-4, 1e-2]);
+    let rows = compare_on_field(&test, &models, &cfg, &[1e-4, 1e-2]).unwrap();
     for row in rows {
         assert!(row.theory.achieved_err <= row.abs_bound, "theory bound violated");
         assert!(row.emgard.bytes <= row.theory.bytes, "E-MGARD read more than MGARD");
@@ -88,8 +88,8 @@ fn model_persistence_survives_pipeline() {
     };
 
     let test = warpx_field(&wcfg, WarpXField::Ex, 3);
-    let rows1 = compare_on_field(&test, &models, &cfg, &[1e-3]);
-    let rows2 = compare_on_field(&test, &models2, &cfg, &[1e-3]);
+    let rows1 = compare_on_field(&test, &models, &cfg, &[1e-3]).unwrap();
+    let rows2 = compare_on_field(&test, &models2, &cfg, &[1e-3]).unwrap();
     assert_eq!(rows1[0].dmgard.planes, rows2[0].dmgard.planes);
     assert_eq!(rows1[0].emgard.planes, rows2[0].emgard.planes);
 }

@@ -71,8 +71,8 @@ fn artifact_formats_are_mutually_exclusive() {
     let field = snapshot();
     let ml = Compressed::compress(&field, &CompressConfig::default());
     let bc = BlockCompressed::compress(&field, &BlockConfig::default());
-    let ml_bytes = pmr::mgard::persist::to_bytes(&ml);
-    let bc_bytes = pmr::blockcodec::persist::to_bytes(&bc);
+    let ml_bytes = pmr::mgard::persist::to_bytes(&ml).expect("serialize");
+    let bc_bytes = pmr::blockcodec::persist::to_bytes(&bc).expect("serialize");
     // Cross-parsing must fail cleanly, not alias.
     assert!(pmr::mgard::persist::from_bytes(&bc_bytes).is_err());
     assert!(pmr::blockcodec::persist::from_bytes(&ml_bytes).is_err());
