@@ -18,6 +18,9 @@ pub struct AllowEntry {
     /// Workspace-relative path prefix (a file or a directory).
     pub path: String,
     pub reason: String,
+    /// 1-based `analyze.toml` line of the `[[allow]]` header — where a
+    /// stale-suppression finding points when the entry matches nothing.
+    pub line: usize,
 }
 
 /// Scoping and allowlist for one analysis run.
@@ -35,6 +38,17 @@ pub struct AnalyzeConfig {
     /// L4 `nondeterminism`: code that produces artifacts, plans, or fault
     /// schedules and must be bit-reproducible.
     pub nondet_paths: Vec<String>,
+    /// `panic_reach`: crates whose public entry points anchor the
+    /// interprocedural panic-reachability walk.
+    pub entry_paths: Vec<String>,
+    /// `panic_reach`: function-name prefixes that mark an entry point
+    /// (e.g. `retrieve` matches `retrieve_tolerant`).
+    pub entry_prefixes: Vec<String>,
+    /// `error_swallow`: data-path crates where a discarded `Result` is a
+    /// contract violation, not a style nit.
+    pub swallow_paths: Vec<String>,
+    /// `lock_order`: where the lock-acquisition graph is built.
+    pub lock_paths: Vec<String>,
     /// Violations accepted with a written justification.
     pub allow: Vec<AllowEntry>,
 }
@@ -62,6 +76,27 @@ impl Default for AnalyzeConfig {
                 "crates/core/src".into(),
                 "crates/conformance/src".into(),
             ],
+            entry_paths: vec![
+                "crates/core/src".into(),
+                "crates/mgard/src".into(),
+                "crates/storage/src".into(),
+                "crates/sim/src".into(),
+            ],
+            entry_prefixes: vec![
+                "compress".into(),
+                "retrieve".into(),
+                "fetch".into(),
+                "execute".into(),
+            ],
+            swallow_paths: vec![
+                "crates/codec/src".into(),
+                "crates/mgard/src".into(),
+                "crates/storage/src".into(),
+                "crates/blockcodec/src".into(),
+                "crates/core/src".into(),
+                "crates/sim/src".into(),
+            ],
+            lock_paths: vec!["crates".into(), "src".into()],
             allow: Vec::new(),
         }
     }
@@ -92,6 +127,7 @@ impl AnalyzeConfig {
                     lint: String::new(),
                     path: String::new(),
                     reason: String::new(),
+                    line: lineno + 1,
                 });
                 section = "allow".into();
             } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
@@ -100,7 +136,12 @@ impl AnalyzeConfig {
                 }
                 section = header.trim().to_string();
                 match section.as_str() {
-                    "lints.panic_path" | "lints.lossy_cast" | "lints.nondeterminism" => {}
+                    "lints.panic_path"
+                    | "lints.lossy_cast"
+                    | "lints.nondeterminism"
+                    | "lints.panic_reach"
+                    | "lints.error_swallow"
+                    | "lints.lock_order" => {}
                     other => return Err(err(format!("unknown section [{other}]"))),
                 }
             } else if let Some((key, value)) = line.split_once('=') {
@@ -112,6 +153,16 @@ impl AnalyzeConfig {
                     ("lints.nondeterminism", "paths") => {
                         cfg.nondet_paths = parse_list(value, &err)?
                     }
+                    ("lints.panic_reach", "entry_paths") => {
+                        cfg.entry_paths = parse_list(value, &err)?
+                    }
+                    ("lints.panic_reach", "entry_prefixes") => {
+                        cfg.entry_prefixes = parse_list(value, &err)?
+                    }
+                    ("lints.error_swallow", "paths") => {
+                        cfg.swallow_paths = parse_list(value, &err)?
+                    }
+                    ("lints.lock_order", "paths") => cfg.lock_paths = parse_list(value, &err)?,
                     ("allow", "lint") => {
                         entry_mut(&mut pending_allow, &err)?.lint = parse_str(value, &err)?
                     }
@@ -226,6 +277,20 @@ reason = "disjoint line scatter, audited 2026-08"
         assert_eq!(cfg.cast_paths, vec!["crates/a/src".to_string()]);
         assert_eq!(cfg.allow.len(), 1);
         assert_eq!(cfg.allow[0].lint, "send_sync_impl");
+    }
+
+    #[test]
+    fn parses_interprocedural_sections_and_allow_lines() {
+        let cfg = AnalyzeConfig::parse(
+            "[lints.panic_reach]\nentry_paths = [\"crates/core/src\"]\nentry_prefixes = [\"execute\"]\n\n[lints.error_swallow]\npaths = [\"crates/mgard/src\"]\n\n[lints.lock_order]\npaths = [\"crates\"]\n\n[[allow]]\nlint = \"panic_reach\"\npath = \"crates/core/src/lib.rs\"\nreason = \"bootstrap assert\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.entry_paths, vec!["crates/core/src".to_string()]);
+        assert_eq!(cfg.entry_prefixes, vec!["execute".to_string()]);
+        assert_eq!(cfg.swallow_paths, vec!["crates/mgard/src".to_string()]);
+        assert_eq!(cfg.lock_paths, vec!["crates".to_string()]);
+        // The [[allow]] header sits on line 11 of the literal above.
+        assert_eq!(cfg.allow[0].line, 11);
     }
 
     #[test]

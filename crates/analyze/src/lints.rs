@@ -1,29 +1,46 @@
-//! The four domain lints.
+//! The lint catalogue: lexical lints plus the suppression machinery shared
+//! with the interprocedural passes in [`crate::callgraph`] and
+//! [`crate::dataflow`].
 //!
-//! All four protect the same thing: the retriever's *error-bound contract*.
-//! A panic mid-retrieval, a data race in the parallel transforms, a wrapped
-//! plane-length cast, or a nondeterministic fault schedule are not style
-//! problems — each one lets the system hand back data whose claimed bound
-//! is silently wrong. The lints are lexical (see [`crate::lexer`]) and
-//! deliberately conservative: they flag *forms*, and every accepted
-//! occurrence must carry a written justification, either inline
+//! Every lint protects the same thing: the retriever's *error-bound
+//! contract*. A panic mid-retrieval, a silently dropped `Result`, a lock
+//! held across a segment fetch, a wrapped plane-length cast, or a
+//! nondeterministic fault schedule are not style problems — each one lets
+//! the system hand back data whose claimed bound is silently wrong. The
+//! lints are deliberately conservative: they flag *forms* (and, for the
+//! interprocedural ones, call-graph over-approximations), and every
+//! accepted occurrence must carry a written justification, either inline
 //! (`// lint:allow(<id>): reason`) or in `analyze.toml`.
 //!
 //! | id | scope | rule |
 //! |----|-------|------|
 //! | `panic_path` | compress/retrieve/fetch paths | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code; failures must surface as `PmrError`. Contract `assert!`s on caller invariants are permitted. |
+//! | `panic_reach` | workspace-wide | no panic-capable call transitively reachable from a configured entry point (`compress*`/`retrieve*`/`fetch*`/`execute*`); reported at the panic site with the shortest call chain |
+//! | `error_swallow` | data-path crates | no `let _ = fallible()`, no `.ok();` discarding a `Result`, no bare `fallible();` statement whose `Result` is dropped |
+//! | `lock_order` | workspace-wide | no cyclic lock-acquisition order, no guard re-acquiring its own lock, no guard held across a `fetch*` call or a retry/backoff loop |
 //! | `unsafe_safety` | whole workspace | every `unsafe` carries a `// SAFETY:` comment within the three lines above it |
 //! | `send_sync_impl` | whole workspace | `unsafe impl Send`/`Sync` only in files registered in the allowlist (inline waivers are *not* accepted) |
 //! | `lossy_cast` | codec/mgard/storage | no `as` casts to narrow integers and no evident float→int `as` casts; use `try_from`/checked helpers |
 //! | `nondeterminism` | artifact-producing code | no `SystemTime::now`/`Instant::now`/`thread_rng`/`from_entropy`, no `HashMap`/`HashSet` (iteration order feeds persisted output) |
+//! | `stale_suppression` | config + sources | every `analyze.toml` allowlist entry and every inline waiver must still match at least one finding; dead suppressions are hard errors and cannot themselves be suppressed |
 
 use crate::config::AnalyzeConfig;
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{parse_file, ParsedFile};
 use crate::report::{Allowed, Violation};
 
 /// Lint identifiers, in report order.
-pub const LINT_IDS: [&str; 5] =
-    ["panic_path", "unsafe_safety", "send_sync_impl", "lossy_cast", "nondeterminism"];
+pub const LINT_IDS: [&str; 9] = [
+    "panic_path",
+    "panic_reach",
+    "error_swallow",
+    "lock_order",
+    "unsafe_safety",
+    "send_sync_impl",
+    "lossy_cast",
+    "nondeterminism",
+    "stale_suppression",
+];
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
@@ -38,63 +55,56 @@ pub struct FileFindings {
     pub allowed: Vec<Allowed>,
 }
 
-/// Run every applicable lint on one file. `rel_path` uses forward slashes
-/// and is workspace-relative; scoping and the allowlist match against it.
-pub fn lint_file(rel_path: &str, src: &str, cfg: &AnalyzeConfig) -> FileFindings {
-    let toks = lex(src);
-    let test_mask = test_region_mask(&toks);
-    let waivers = collect_waivers(&toks);
-    let safety_lines: Vec<usize> = toks
+/// Raw (pre-suppression) lexical findings for one file. `rel_path` comes
+/// from the parsed file; scoping matches against it.
+pub fn lexical_raw(p: &ParsedFile, cfg: &AnalyzeConfig) -> Vec<Violation> {
+    let rel_path = p.rel_path.as_str();
+    let safety_lines: Vec<usize> = p
+        .toks
         .iter()
         .filter(|t| !t.is_code() && t.text.contains("SAFETY:"))
         .map(|t| t.line)
         .collect();
-    let lines: Vec<&str> = src.lines().collect();
-    let snippet = |line: usize| -> String {
-        lines.get(line.saturating_sub(1)).map_or(String::new(), |l| l.trim().to_string())
-    };
 
     let mut raw: Vec<Violation> = Vec::new();
-    let in_scope = |paths: &[String]| paths.iter().any(|p| rel_path.starts_with(p.as_str()));
+    let in_scope = |paths: &[String]| paths.iter().any(|px| rel_path.starts_with(px.as_str()));
 
-    let code: Vec<(usize, &Tok)> = toks.iter().enumerate().filter(|(_, t)| t.is_code()).collect();
-    // `next`/`prev` in code-token space; `ci` indexes into `code`.
-    for ci in 0..code.len() {
-        let (ti, t) = code[ci];
-        if test_mask[ti] || t.kind != TokKind::Ident {
+    for ci in 0..p.code.len() {
+        let t = p.ct(ci);
+        if p.in_test(ci) || t.kind != TokKind::Ident {
             continue;
         }
-        let next = |k: usize| code.get(ci + k).map(|&(_, t)| t);
-        let prev = |k: usize| ci.checked_sub(k).map(|i| code[i].1);
+        let next = |k: usize| p.code.get(ci + k).map(|&ti| &p.toks[ti]);
+        let prev = |k: usize| ci.checked_sub(k).map(|i| p.ct(i));
 
         // L1 — panic-capable calls on the compress/retrieve/fetch paths.
         if in_scope(&cfg.panic_paths) {
             if PANIC_MACROS.contains(&t.text.as_str()) && next(1).is_some_and(|n| n.is_punct('!')) {
-                raw.push(Violation {
-                    lint: "panic_path",
-                    file: rel_path.to_string(),
-                    line: t.line,
-                    message: format!(
+                raw.push(Violation::new(
+                    "panic_path",
+                    rel_path,
+                    t.line,
+                    format!(
                         "`{}!` in library code on an error-contract path; return `PmrError` instead",
                         t.text
                     ),
-                    snippet: snippet(t.line),
-                });
+                    p.snippet(t.line),
+                ));
             }
             if matches!(t.text.as_str(), "unwrap" | "expect")
-                && prev(1).is_some_and(|p| p.is_punct('.'))
+                && prev(1).is_some_and(|pv| pv.is_punct('.'))
                 && next(1).is_some_and(|n| n.is_punct('('))
             {
-                raw.push(Violation {
-                    lint: "panic_path",
-                    file: rel_path.to_string(),
-                    line: t.line,
-                    message: format!(
+                raw.push(Violation::new(
+                    "panic_path",
+                    rel_path,
+                    t.line,
+                    format!(
                         "`.{}()` can panic mid-retrieval; route the failure through `PmrError`",
                         t.text
                     ),
-                    snippet: snippet(t.line),
-                });
+                    p.snippet(t.line),
+                ));
             }
         }
 
@@ -103,14 +113,13 @@ pub fn lint_file(rel_path: &str, src: &str, cfg: &AnalyzeConfig) -> FileFindings
             let documented =
                 safety_lines.iter().any(|&l| l <= t.line && t.line.saturating_sub(l) <= 3);
             if !documented {
-                raw.push(Violation {
-                    lint: "unsafe_safety",
-                    file: rel_path.to_string(),
-                    line: t.line,
-                    message: "`unsafe` without a `// SAFETY:` comment in the 3 lines above it"
-                        .to_string(),
-                    snippet: snippet(t.line),
-                });
+                raw.push(Violation::new(
+                    "unsafe_safety",
+                    rel_path,
+                    t.line,
+                    "`unsafe` without a `// SAFETY:` comment in the 3 lines above it",
+                    p.snippet(t.line),
+                ));
             }
             if next(1).is_some_and(|n| n.is_ident("impl")) {
                 let trait_name = (2..40)
@@ -119,17 +128,17 @@ pub fn lint_file(rel_path: &str, src: &str, cfg: &AnalyzeConfig) -> FileFindings
                     .find(|n| n.is_ident("Send") || n.is_ident("Sync"))
                     .map(|n| n.text.clone());
                 if let Some(name) = trait_name {
-                    raw.push(Violation {
-                        lint: "send_sync_impl",
-                        file: rel_path.to_string(),
-                        line: t.line,
-                        message: format!(
+                    raw.push(Violation::new(
+                        "send_sync_impl",
+                        rel_path,
+                        t.line,
+                        format!(
                             "`unsafe impl {name}` asserts thread safety the compiler cannot \
                              check; the file must be registered in the analyze.toml allowlist \
                              with a justification"
                         ),
-                        snippet: snippet(t.line),
-                    });
+                        p.snippet(t.line),
+                    ));
                 }
             }
         }
@@ -140,23 +149,23 @@ pub fn lint_file(rel_path: &str, src: &str, cfg: &AnalyzeConfig) -> FileFindings
                 let narrow = NARROW_INTS.contains(&target.text.as_str());
                 let wide = WIDE_INTS.contains(&target.text.as_str());
                 if narrow || wide {
-                    let float_src = cast_source_is_float(&code, ci);
+                    let float_src = cast_source_is_float(p, ci);
                     if narrow || float_src {
                         let kind = if float_src {
                             "float→int `as` cast saturates and drops fractions silently"
                         } else {
                             "integer `as` cast to a narrower type wraps silently"
                         };
-                        raw.push(Violation {
-                            lint: "lossy_cast",
-                            file: rel_path.to_string(),
-                            line: t.line,
-                            message: format!(
+                        raw.push(Violation::new(
+                            "lossy_cast",
+                            rel_path,
+                            t.line,
+                            format!(
                                 "{kind}; use `try_from`/checked conversion (cast to `{}`)",
                                 target.text
                             ),
-                            snippet: snippet(t.line),
-                        });
+                            p.snippet(t.line),
+                        ));
                     }
                 }
             }
@@ -182,48 +191,102 @@ pub fn lint_file(rel_path: &str, src: &str, cfg: &AnalyzeConfig) -> FileFindings
                         t.text
                     )
                 };
-                raw.push(Violation {
-                    lint: "nondeterminism",
-                    file: rel_path.to_string(),
-                    line: t.line,
-                    message: what,
-                    snippet: snippet(t.line),
-                });
+                raw.push(Violation::new(
+                    "nondeterminism",
+                    rel_path,
+                    t.line,
+                    what,
+                    p.snippet(t.line),
+                ));
             }
         }
     }
+    raw
+}
 
-    // Split raw findings into violations vs. justified suppressions.
-    let mut out = FileFindings::default();
+/// The suppression outcome for one file, with per-suppression hit counts so
+/// the caller can detect stale entries across the whole workspace.
+#[derive(Debug, Default)]
+pub struct Suppressed {
+    pub violations: Vec<Violation>,
+    pub allowed: Vec<Allowed>,
+    /// Hit count per `cfg.allow` index, for this file's findings.
+    pub allow_hits: Vec<usize>,
+    /// Hit count per entry of the `waivers` slice passed in.
+    pub waiver_hits: Vec<usize>,
+}
+
+/// Split raw findings into violations vs. justified suppressions, counting
+/// every suppression that matched (even redundantly) so dead entries can be
+/// flagged. `stale_suppression` findings are never suppressible: the whole
+/// point is that rot cannot hide itself.
+pub fn apply_suppressions(
+    raw: Vec<Violation>,
+    rel_path: &str,
+    waivers: &[Waiver],
+    cfg: &AnalyzeConfig,
+) -> Suppressed {
+    let mut out = Suppressed {
+        allow_hits: vec![0; cfg.allow.len()],
+        waiver_hits: vec![0; waivers.len()],
+        ..Suppressed::default()
+    };
     'next_violation: for v in raw {
-        for entry in &cfg.allow {
+        if v.lint == "stale_suppression" {
+            out.violations.push(v);
+            continue;
+        }
+        let mut allow_reason: Option<String> = None;
+        for (i, entry) in cfg.allow.iter().enumerate() {
             if entry.lint == v.lint && rel_path.starts_with(entry.path.as_str()) {
-                out.allowed.push(Allowed { violation: v, reason: entry.reason.clone() });
-                continue 'next_violation;
+                out.allow_hits[i] += 1;
+                allow_reason.get_or_insert_with(|| entry.reason.clone());
             }
         }
+        if let Some(reason) = allow_reason {
+            out.allowed.push(Allowed { violation: v, reason });
+            continue 'next_violation;
+        }
         // Inline waivers never excuse a Send/Sync impl: those must be
-        // centrally registered so the whole unsafe surface is in one file.
+        // centrally registered so the whole unsafe surface is in one file
+        // (an unmatched waiver then fails the run as stale — loudly).
+        let mut waiver_reason: Option<String> = None;
         if v.lint != "send_sync_impl" {
-            if let Some(reason) = waivers.iter().find_map(|w| {
-                (w.lints.iter().any(|l| l == v.lint) && (w.line == v.line || w.line + 1 == v.line))
-                    .then(|| w.reason.clone())
-            }) {
-                out.allowed.push(Allowed { violation: v, reason });
-                continue 'next_violation;
+            for (i, w) in waivers.iter().enumerate() {
+                if w.lints.iter().any(|l| l == v.lint) && (w.line == v.line || w.line + 1 == v.line)
+                {
+                    out.waiver_hits[i] += 1;
+                    waiver_reason.get_or_insert_with(|| w.reason.clone());
+                }
             }
+        }
+        if let Some(reason) = waiver_reason {
+            out.allowed.push(Allowed { violation: v, reason });
+            continue 'next_violation;
         }
         out.violations.push(v);
     }
     out
 }
 
+/// Convenience single-file entry point (fixture tests and simple callers):
+/// parse, run the lexical lints, apply suppressions. Interprocedural lints
+/// and stale-suppression detection need the whole workspace and live in
+/// [`crate::analyze_sources`] / [`crate::analyze_workspace`].
+pub fn lint_file(rel_path: &str, src: &str, cfg: &AnalyzeConfig) -> FileFindings {
+    let parsed = parse_file(rel_path, src);
+    let raw = lexical_raw(&parsed, cfg);
+    let waivers = collect_waivers(&parsed.toks);
+    let s = apply_suppressions(raw, rel_path, &waivers, cfg);
+    FileFindings { violations: s.violations, allowed: s.allowed }
+}
+
 /// Does the `as` at code index `ci` cast an evidently-float expression?
 /// Recognizes a float literal (`1.5 as i64`) and a trailing
 /// `.round()/.floor()/.ceil()/.trunc()` call chain.
-fn cast_source_is_float(code: &[(usize, &Tok)], ci: usize) -> bool {
+fn cast_source_is_float(p: &ParsedFile, ci: usize) -> bool {
     let Some(i) = ci.checked_sub(1) else { return false };
-    let prev = code[i].1;
+    let prev = p.ct(i);
     if prev.kind == TokKind::Num {
         let t = &prev.text;
         return t.contains('.') || t.ends_with("f32") || t.ends_with("f64");
@@ -233,7 +296,7 @@ fn cast_source_is_float(code: &[(usize, &Tok)], ci: usize) -> bool {
         let mut depth = 0usize;
         let mut j = i;
         loop {
-            let t = code[j].1;
+            let t = p.ct(j);
             if t.is_punct(')') {
                 depth += 1;
             } else if t.is_punct('(') {
@@ -247,8 +310,8 @@ fn cast_source_is_float(code: &[(usize, &Tok)], ci: usize) -> bool {
         }
         // `<expr>.round( … ) as` — ident directly before the `(`.
         if let Some(k) = j.checked_sub(1) {
-            return FLOAT_TO_INT_FNS.contains(&code[k].1.text.as_str())
-                && k.checked_sub(1).is_some_and(|d| code[d].1.is_punct('.'));
+            return FLOAT_TO_INT_FNS.contains(&p.ct(k).text.as_str())
+                && k.checked_sub(1).is_some_and(|d| p.ct(d).is_punct('.'));
         }
     }
     false
@@ -256,13 +319,14 @@ fn cast_source_is_float(code: &[(usize, &Tok)], ci: usize) -> bool {
 
 /// An inline waiver parsed from a comment: `// lint:allow(a, b): reason`.
 /// Covers findings on the comment's own line and the line below it.
-struct Waiver {
-    line: usize,
-    lints: Vec<String>,
-    reason: String,
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub line: usize,
+    pub lints: Vec<String>,
+    pub reason: String,
 }
 
-fn collect_waivers(toks: &[Tok]) -> Vec<Waiver> {
+pub fn collect_waivers(toks: &[Tok]) -> Vec<Waiver> {
     let mut out = Vec::new();
     for t in toks {
         if t.is_code() {
@@ -281,78 +345,18 @@ fn collect_waivers(toks: &[Tok]) -> Vec<Waiver> {
             .trim_end_matches("*/")
             .trim()
             .to_string();
-        // A waiver with no reason is no waiver: the violation stays.
-        if !lints.is_empty() && !reason.is_empty() {
+        // A waiver with no reason is no waiver: the violation stays. And
+        // only known lint ids count — prose that merely *mentions* the
+        // syntax (`lint:allow(<id>)`) must not parse as a suppression.
+        // A typo'd id is still loud: the finding it meant to waive fires.
+        if !lints.is_empty()
+            && !reason.is_empty()
+            && lints.iter().all(|l| LINT_IDS.contains(&l.as_str()))
+        {
             out.push(Waiver { line: t.line, lints, reason });
         }
     }
     out
-}
-
-/// Token mask marking test-only regions: the braced body (and attributes) of
-/// any item annotated `#[cfg(test)]`, `#[cfg(any(test, …))]`, or `#[test]`.
-/// `#[cfg(not(test))]` guards production code and is *not* masked.
-fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
-    let mut c = 0usize;
-    while c < code.len() {
-        if toks[code[c]].is_punct('#') && code.get(c + 1).is_some_and(|&i| toks[i].is_punct('[')) {
-            // Scan the attribute to its matching `]`.
-            let mut depth = 0usize;
-            let mut idents: Vec<&str> = Vec::new();
-            let mut end = c + 1;
-            for (k, &ti) in code.iter().enumerate().skip(c + 1) {
-                let t = &toks[ti];
-                if t.is_punct('[') {
-                    depth += 1;
-                } else if t.is_punct(']') {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = k;
-                        break;
-                    }
-                } else if t.kind == TokKind::Ident {
-                    idents.push(&t.text);
-                }
-            }
-            let is_test_attr = idents.contains(&"test")
-                && !idents.contains(&"not")
-                && (idents[0] == "cfg" || idents == ["test"]);
-            if is_test_attr {
-                // Mark from the attribute through the end of the annotated
-                // item: its braced body, or the trailing `;` for bodyless
-                // items (`mod tests;`).
-                let mut brace_depth = 0usize;
-                let mut k = end + 1;
-                while k < code.len() {
-                    let t = &toks[code[k]];
-                    if t.is_punct('{') {
-                        brace_depth += 1;
-                    } else if t.is_punct('}') {
-                        brace_depth -= 1;
-                        if brace_depth == 0 {
-                            break;
-                        }
-                    } else if t.is_punct(';') && brace_depth == 0 {
-                        break;
-                    }
-                    k += 1;
-                }
-                let from = code[c];
-                let to = code.get(k).copied().unwrap_or(toks.len() - 1);
-                for m in &mut mask[from..=to] {
-                    *m = true;
-                }
-                c = k + 1;
-                continue;
-            }
-            c = end + 1;
-            continue;
-        }
-        c += 1;
-    }
-    mask
 }
 
 #[cfg(test)]
@@ -364,7 +368,7 @@ mod tests {
             panic_paths: vec![String::new()],
             cast_paths: vec![String::new()],
             nondet_paths: vec![String::new()],
-            allow: Vec::new(),
+            ..AnalyzeConfig::default()
         }
     }
 
@@ -467,6 +471,7 @@ mod tests {
             lint: "send_sync_impl".into(),
             path: "crates/x/src".into(),
             reason: "audited: disjoint element scatter".into(),
+            line: 1,
         });
         let src = "// SAFETY: disjoint\nunsafe impl Send for P {}";
         let f = lint_file("crates/x/src/lib.rs", src, &cfg);
@@ -480,7 +485,7 @@ mod tests {
             panic_paths: vec!["crates/hot".into()],
             cast_paths: vec!["crates/hot".into()],
             nondet_paths: vec!["crates/hot".into()],
-            allow: Vec::new(),
+            ..AnalyzeConfig::default()
         };
         let src = "fn f(x: Option<u8>, y: u64) { x.unwrap(); let _ = y as u32; }";
         assert!(lint_file("crates/cold/src/lib.rs", src, &cfg).violations.is_empty());
@@ -494,5 +499,31 @@ mod tests {
     fn strings_and_comments_never_fire() {
         let src = r#"fn f() { let s = "x.unwrap() panic! HashMap"; } // x.unwrap()"#;
         assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_hits_are_counted_per_entry() {
+        let mut cfg = cfg_all();
+        cfg.allow.push(crate::config::AllowEntry {
+            lint: "lossy_cast".into(),
+            path: "crates/x/src".into(),
+            reason: "bounded".into(),
+            line: 1,
+        });
+        cfg.allow.push(crate::config::AllowEntry {
+            lint: "panic_path".into(),
+            path: "crates/other".into(),
+            reason: "never matches here".into(),
+            line: 5,
+        });
+        let src = "// lint:allow(nondeterminism): display only\nfn f(k: usize) -> u32 { let t = SystemTime::now(); k as u32 }";
+        let parsed = parse_file("crates/x/src/lib.rs", src);
+        let raw = lexical_raw(&parsed, &cfg);
+        let waivers = collect_waivers(&parsed.toks);
+        let s = apply_suppressions(raw, "crates/x/src/lib.rs", &waivers, &cfg);
+        assert!(s.violations.is_empty());
+        assert_eq!(s.allowed.len(), 2);
+        assert_eq!(s.allow_hits, vec![1, 0]);
+        assert_eq!(s.waiver_hits, vec![1]);
     }
 }

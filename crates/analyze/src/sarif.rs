@@ -1,0 +1,140 @@
+//! SARIF 2.1.0 output for tooling interop (code-scanning upload, IDE
+//! ingestion). One run, one driver (`pmr-analyze`), every lint as a rule.
+//!
+//! Violations are emitted as `error`-level results; allowlisted/waived
+//! findings are emitted as `note`-level results carrying a `suppressions`
+//! entry with the written justification, so the audit surface survives the
+//! format conversion. Output is fully deterministic: it reuses the
+//! report's canonical ordering and fingerprints (as
+//! `partialFingerprints."pmrFingerprint/v1"`) and records nothing
+//! environment-dependent — the golden snapshot test pins the bytes.
+
+use crate::lints::LINT_IDS;
+use crate::report::{escape, Report, Violation};
+use std::fmt::Write as _;
+
+/// Short per-rule descriptions for the SARIF rule catalogue.
+fn rule_desc(lint: &str) -> &'static str {
+    match lint {
+        "panic_path" => "No panic-capable call on an error-contract path",
+        "panic_reach" => "No panic-capable call reachable from a retrieval entry point",
+        "error_swallow" => "No silently discarded Result on the data path",
+        "lock_order" => "No deadlock-capable lock acquisition pattern",
+        "unsafe_safety" => "Every unsafe block carries a SAFETY comment",
+        "send_sync_impl" => "unsafe impl Send/Sync only via the audited allowlist",
+        "lossy_cast" => "No silently wrapping or truncating as cast",
+        "nondeterminism" => "No nondeterminism source in artifact-producing code",
+        "stale_suppression" => "Every allowlist entry and inline waiver still matches a finding",
+        _ => "pmr-analyze finding",
+    }
+}
+
+/// Render the report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"pmr-analyze\",\n");
+    let _ = writeln!(s, "          \"version\": \"{}\",", env!("CARGO_PKG_VERSION"));
+    s.push_str("          \"rules\": [\n");
+    for (i, lint) in LINT_IDS.iter().enumerate() {
+        let _ = write!(
+            s,
+            "            {{ \"id\": \"{lint}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}",
+            escape(rule_desc(lint))
+        );
+        s.push_str(if i + 1 == LINT_IDS.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    let total = report.violations.len() + report.allowed.len();
+    let mut emitted = 0usize;
+    for v in &report.violations {
+        emit_result(&mut s, v, "error", None, &mut emitted, total);
+    }
+    for a in &report.allowed {
+        emit_result(&mut s, &a.violation, "note", Some(&a.reason), &mut emitted, total);
+    }
+    if total > 0 {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
+    s
+}
+
+fn emit_result(
+    s: &mut String,
+    v: &Violation,
+    level: &str,
+    justification: Option<&str>,
+    emitted: &mut usize,
+    _total: usize,
+) {
+    s.push_str(if *emitted == 0 { "\n" } else { ",\n" });
+    *emitted += 1;
+    s.push_str("        {\n");
+    let _ = writeln!(s, "          \"ruleId\": \"{}\",", v.lint);
+    let _ = writeln!(s, "          \"level\": \"{level}\",");
+    let _ = writeln!(s, "          \"message\": {{ \"text\": \"{}\" }},", escape(&v.message));
+    s.push_str("          \"locations\": [ { \"physicalLocation\": { ");
+    let _ = write!(
+        s,
+        "\"artifactLocation\": {{ \"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\" }}, \
+         \"region\": {{ \"startLine\": {} }}",
+        escape(&v.file),
+        v.line.max(1)
+    );
+    s.push_str(" } } ],\n");
+    let _ = write!(
+        s,
+        "          \"partialFingerprints\": {{ \"pmrFingerprint/v1\": \"{}\" }}",
+        escape(&v.fingerprint)
+    );
+    if let Some(reason) = justification {
+        s.push_str(",\n");
+        let _ = write!(
+            s,
+            "          \"suppressions\": [ {{ \"kind\": \"external\", \"justification\": \"{}\" }} ]",
+            escape(reason)
+        );
+    }
+    s.push_str("\n        }");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Allowed;
+
+    #[test]
+    fn sarif_is_deterministic_and_carries_rules() {
+        let mut r = Report::default();
+        r.violations.push(Violation::new("panic_path", "crates/a/src/lib.rs", 3, "msg", "snip"));
+        r.allowed.push(Allowed {
+            violation: Violation::new("lossy_cast", "crates/b/src/lib.rs", 9, "m2", "s2"),
+            reason: "bounded by construction".to_string(),
+        });
+        r.finalize();
+        let s1 = to_sarif(&r);
+        let s2 = to_sarif(&r);
+        assert_eq!(s1, s2);
+        assert!(s1.contains("\"version\": \"2.1.0\""));
+        for lint in LINT_IDS {
+            assert!(s1.contains(&format!("\"id\": \"{lint}\"")), "missing rule {lint}");
+        }
+        assert!(s1.contains("\"level\": \"error\""));
+        assert!(s1.contains("\"level\": \"note\""));
+        assert!(s1.contains("bounded by construction"));
+        assert!(s1.contains("pmrFingerprint/v1"));
+    }
+
+    #[test]
+    fn empty_report_has_empty_results() {
+        let mut r = Report::default();
+        r.finalize();
+        assert!(to_sarif(&r).contains("\"results\": []"));
+    }
+}

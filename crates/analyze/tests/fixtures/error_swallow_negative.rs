@@ -1,0 +1,26 @@
+//! Negative fixture: every Result is propagated, bound, or deliberately
+//! waived with a written reason.
+
+fn persist(v: &[u8]) -> Result<(), String> {
+    if v.is_empty() {
+        Err("empty".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+pub fn flush_all(v: &[u8]) -> Result<(), String> {
+    persist(v)?;
+    let outcome = persist(v);
+    outcome
+}
+
+pub fn latest(v: &[u8]) -> Option<()> {
+    // `.ok()` in value position is a conversion, not a swallow.
+    persist(v).ok()
+}
+
+pub fn best_effort(v: &[u8]) {
+    // lint:allow(error_swallow): advisory prefetch; a miss is re-fetched on demand
+    let _ = persist(v);
+}

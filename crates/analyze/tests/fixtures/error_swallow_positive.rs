@@ -1,0 +1,22 @@
+//! Positive fixture: all three error-swallowing forms. Linted as
+//! `crates/codec/src/fixture.rs` (a swallow path).
+
+fn persist(v: &[u8]) -> Result<(), String> {
+    if v.is_empty() {
+        Err("empty".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+pub fn flush_all(v: &[u8]) {
+    // Form A: `let _ =` on a fallible call.
+    let _ = persist(v);
+    // Form C: bare statement whose Result is dropped.
+    persist(v);
+}
+
+pub fn probe(v: &[u8]) {
+    // Form B: `.ok()` with the Option itself discarded.
+    persist(v).ok();
+}

@@ -1,0 +1,35 @@
+//! Negative fixture: a consistent acquisition order everywhere, and the
+//! guard dropped (block scope) before the segment fetch starts.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Store {
+    pub fn fetch_segment(&self, k: u32) -> u32 {
+        k
+    }
+
+    pub fn sum(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());
+        *ga + *gb
+    }
+
+    pub fn sum_again(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());
+        *ga + *gb
+    }
+
+    pub fn drop_then_fetch(&self) -> u32 {
+        let k = {
+            let g = self.a.lock().unwrap_or_else(|p| p.into_inner());
+            *g
+        };
+        self.fetch_segment(k)
+    }
+}

@@ -1,0 +1,22 @@
+//! Negative fixture: the entry point propagates errors; the one panic in
+//! the file sits in a helper no entry point can reach.
+
+pub fn retrieve_snapshot(k: usize) -> Result<usize, String> {
+    budget_for(k)
+}
+
+fn budget_for(k: usize) -> Result<usize, String> {
+    if k > 64 {
+        Err(format!("plane width out of range: {k}"))
+    } else {
+        Ok(k)
+    }
+}
+
+/// Diagnostic helper, never called from an entry point.
+pub fn dump_or_die(k: usize) -> usize {
+    if k > 64 {
+        panic!("diagnostic overflow");
+    }
+    k
+}

@@ -1,0 +1,27 @@
+//! Positive fixture: a panic two hops below an entry point. Linted as
+//! `crates/sim/src/fixture.rs`, which is an entry tree but *not* a
+//! `panic_path` tree — only `panic_reach` should fire.
+
+pub fn retrieve_snapshot(k: usize) -> usize {
+    budget_for(k)
+}
+
+fn budget_for(k: usize) -> usize {
+    decode_width(k)
+}
+
+fn decode_width(k: usize) -> usize {
+    if k > 64 {
+        panic!("plane width out of range: {k}");
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_never_count() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

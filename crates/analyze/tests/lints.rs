@@ -75,6 +75,7 @@ fn send_sync_impl_is_allowlist_only() {
         lint: "send_sync_impl".into(),
         path: "crates/nn/src/fixture.rs".into(),
         reason: "raw pointer owned exclusively; audited".into(),
+        line: 1,
     });
     let r = lint("crates/nn/src/fixture.rs", src, &cfg);
     assert_eq!(count(&r, "send_sync_impl"), 0);
@@ -121,6 +122,108 @@ fn ordered_containers_are_clean() {
     let src = include_str!("fixtures/nondet_negative.rs");
     let r = lint("crates/mgard/src/fixture.rs", src, &AnalyzeConfig::default());
     assert_eq!(count(&r, "nondeterminism"), 0, "{:#?}", r.violations);
+}
+
+// ---- L5: panic_reach (interprocedural) ----
+
+#[test]
+fn panic_reach_fires_through_the_call_graph() {
+    let src = include_str!("fixtures/panic_reach_positive.rs");
+    // `crates/sim/src` is an entry tree but not a panic_path tree, so the
+    // finding below is attributable to reachability alone.
+    let r = lint("crates/sim/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "panic_reach"), 1, "{:#?}", r.violations);
+    assert_eq!(count(&r, "panic_path"), 0, "sim is off the panic_path scope");
+    let v = r.violations.iter().find(|v| v.lint == "panic_reach").expect("finding");
+    assert!(v.message.contains("retrieve_snapshot"), "chain names the entry: {}", v.message);
+    assert!(v.message.contains("decode_width"), "chain names the sink: {}", v.message);
+}
+
+#[test]
+fn panic_reach_ignores_unreachable_panics() {
+    let src = include_str!("fixtures/panic_reach_negative.rs");
+    let r = lint("crates/sim/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "panic_reach"), 0, "{:#?}", r.violations);
+}
+
+#[test]
+fn panic_reach_waiver_at_the_panic_site_applies() {
+    let src = "pub fn retrieve_x(k: usize) -> usize { decode(k) }\n\
+               fn decode(k: usize) -> usize {\n\
+               // lint:allow(panic_reach): bound checked by the header parser\n\
+               if k > 64 { panic!(\"width\"); }\n\
+               k }\n";
+    let r = lint("crates/sim/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "panic_reach"), 0, "{:#?}", r.violations);
+    assert_eq!(count_allowed(&r, "panic_reach"), 1);
+    assert_eq!(count(&r, "stale_suppression"), 0, "waiver matched, not stale");
+}
+
+// ---- L6: error_swallow (interprocedural) ----
+
+#[test]
+fn error_swallow_fires_on_all_three_forms() {
+    let src = include_str!("fixtures/error_swallow_positive.rs");
+    let r = lint("crates/codec/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "error_swallow"), 3, "let _ / bare / .ok(): {:#?}", r.violations);
+}
+
+#[test]
+fn error_swallow_negative_is_clean_with_one_waived() {
+    let src = include_str!("fixtures/error_swallow_negative.rs");
+    let r = lint("crates/codec/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "error_swallow"), 0, "{:#?}", r.violations);
+    assert_eq!(count_allowed(&r, "error_swallow"), 1, "the waived prefetch");
+    assert_eq!(count(&r, "stale_suppression"), 0);
+}
+
+#[test]
+fn error_swallow_is_scoped_to_data_path_crates() {
+    let src = include_str!("fixtures/error_swallow_positive.rs");
+    let r = lint("crates/nn/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "error_swallow"), 0, "nn is off the swallow scope");
+}
+
+// ---- L7: lock_order (interprocedural) ----
+
+#[test]
+fn lock_order_fires_on_cycle_and_guard_across_fetch() {
+    let src = include_str!("fixtures/lock_order_positive.rs");
+    let r = lint("crates/storage/src/fixture.rs", src, &AnalyzeConfig::default());
+    // Both directions of the a/b cycle plus the guard held across fetch.
+    assert_eq!(count(&r, "lock_order"), 3, "{:#?}", r.violations);
+}
+
+#[test]
+fn lock_order_negative_is_clean() {
+    let src = include_str!("fixtures/lock_order_negative.rs");
+    let r = lint("crates/storage/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "lock_order"), 0, "{:#?}", r.violations);
+}
+
+#[test]
+fn lock_order_allowlist_entry_suppresses_and_is_not_stale() {
+    let src = include_str!("fixtures/lock_order_positive.rs");
+    let mut cfg = AnalyzeConfig::default();
+    cfg.allow.push(AllowEntry {
+        lint: "lock_order".into(),
+        path: "crates/storage/src/fixture.rs".into(),
+        reason: "fixture: known ordering, audited".into(),
+        line: 1,
+    });
+    let r = lint("crates/storage/src/fixture.rs", src, &cfg);
+    assert_eq!(count(&r, "lock_order"), 0, "{:#?}", r.violations);
+    assert_eq!(count_allowed(&r, "lock_order"), 3);
+    assert_eq!(count(&r, "stale_suppression"), 0);
+}
+
+// ---- stale suppressions ----
+
+#[test]
+fn unmatched_waiver_is_a_stale_suppression_finding() {
+    let src = "// lint:allow(panic_path): nothing panics here anymore\npub fn calm() {}\n";
+    let r = lint("crates/mgard/src/fixture.rs", src, &AnalyzeConfig::default());
+    assert_eq!(count(&r, "stale_suppression"), 1, "{:#?}", r.violations);
 }
 
 // ---- report plumbing ----

@@ -1,0 +1,29 @@
+//! Golden snapshot for the SARIF exporter: a fixed fixture workspace must
+//! serialize to byte-identical SARIF on every run, on every machine.
+//!
+//! To regenerate after an intentional format change:
+//! `PMR_UPDATE_GOLDEN=1 cargo test -p pmr-analyze --test sarif_golden`
+//! and review the diff of `tests/golden/analyze.sarif` like any other code.
+
+use pmr_analyze::{analyze_sources, sarif, AnalyzeConfig};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/analyze.sarif");
+
+#[test]
+fn sarif_output_matches_the_golden_snapshot() {
+    let report = analyze_sources(
+        [
+            ("crates/sim/src/fixture.rs", include_str!("fixtures/panic_reach_positive.rs")),
+            ("crates/codec/src/fixture.rs", include_str!("fixtures/error_swallow_negative.rs")),
+            ("crates/storage/src/fixture.rs", include_str!("fixtures/lock_order_positive.rs")),
+        ],
+        &AnalyzeConfig::default(),
+    );
+    let got = sarif::to_sarif(&report);
+    if std::env::var_os("PMR_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing; regenerate with PMR_UPDATE_GOLDEN=1 and review the diff");
+    assert_eq!(got, want, "SARIF drifted from the golden snapshot");
+}

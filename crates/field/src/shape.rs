@@ -63,14 +63,10 @@ impl Shape {
         self.len() == 0
     }
 
-    /// Stride (in elements) of dimension `d`.
+    /// Stride (in elements) of dimension `d`. Requires `d < 3`.
     pub fn stride(&self, d: usize) -> usize {
-        match d {
-            0 => 1,
-            1 => self.dims[0],
-            2 => self.dims[0] * self.dims[1],
-            _ => panic!("dimension out of range: {d}"),
-        }
+        assert!(d < 3, "dimension out of range: {d}");
+        self.dims[..d].iter().product()
     }
 
     /// Linear index of the grid point `(x, y, z)`.
@@ -94,7 +90,9 @@ impl Shape {
     ///
     /// A "line" is the set of points that differ only in their coordinate
     /// along `d`; the decomposition transforms operate line by line.
+    /// Requires `d < 3`.
     pub fn line_starts(&self, d: usize) -> Vec<usize> {
+        assert!(d < 3, "dimension out of range: {d}");
         let mut starts = Vec::with_capacity(self.len() / self.dims[d]);
         match d {
             0 => {
@@ -111,14 +109,14 @@ impl Shape {
                     }
                 }
             }
-            2 => {
+            // d == 2, by the assert above.
+            _ => {
                 for y in 0..self.dims[1] {
                     for x in 0..self.dims[0] {
                         starts.push(self.index(x, y, 0));
                     }
                 }
             }
-            _ => panic!("dimension out of range: {d}"),
         }
         starts
     }

@@ -57,7 +57,9 @@ impl DatasetCache {
             return f;
         }
         let f = warpx_field(cfg, field, t);
-        // Cache write failures are non-fatal (e.g. read-only media).
+        // The freshly generated field is returned regardless; the next
+        // call simply regenerates on a cache miss.
+        // lint:allow(error_swallow): cache write failures are non-fatal (e.g. read-only media)
         let _ = io::save(&f, &path);
         f
     }

@@ -11,6 +11,7 @@
 //!                     [--regen-golden] [--golden-only] [--report <path>]
 //! pmrtool faultsim [--grid quick|full] [--seed N] [--report <path>]
 //! pmrtool analyze [--root <dir>] [--config <analyze.toml>] [--report <path>]
+//!                 [--sarif <path>] [--diff <baseline.json> | --write-baseline <path>]
 //! ```
 //!
 //! Field files use the `pmr-field` binary format (`.pmrf`); artifacts the
@@ -49,6 +50,7 @@ const USAGE: &str = "usage:
                       [--regen-golden] [--golden-only] [--report <path>]
   pmrtool faultsim [--grid quick|full] [--seed N] [--report <path>]
   pmrtool analyze [--root <dir>] [--config <analyze.toml>] [--report <path>]
+                  [--sarif <path>] [--diff <baseline.json> | --write-baseline <path>]
 
 artifact files are self-describing: retrieve/info dispatch on the magic
 (multilevel .pmrc vs block-codec .pmrb).";
@@ -369,6 +371,35 @@ fn run_analyze(args: &[String]) -> Result<(), String> {
     if let Some(path) = flag_value(args, "--report")? {
         std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote report to {path}");
+    }
+    if let Some(path) = flag_value(args, "--sarif")? {
+        std::fs::write(path, analyze::sarif::to_sarif(&report))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote SARIF to {path}");
+    }
+    if let Some(path) = flag_value(args, "--write-baseline")? {
+        std::fs::write(path, analyze::baseline::to_json(&report))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote baseline to {path} ({} fingerprint(s))", report.violations.len());
+        return Ok(());
+    }
+    if let Some(path) = flag_value(args, "--diff")? {
+        // Differential gate: fail only on findings absent from the
+        // baseline, so CI blocks new debt while the backlog burns down.
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+        let base = analyze::baseline::parse(&text).map_err(|e| e.to_string())?;
+        let new = analyze::baseline::new_findings(&report, &base);
+        let known = report.violations.len() - new.len();
+        println!("diff vs {path}: {} new, {known} known", new.len());
+        if new.is_empty() {
+            return Ok(());
+        }
+        for v in &new {
+            eprintln!("NEW: {}:{} [{}] {}", v.file, v.line, v.lint, v.message);
+        }
+        eprintln!("error: {} new static-analysis finding(s) vs baseline", new.len());
+        std::process::exit(1);
     }
     if report.is_clean() {
         Ok(())

@@ -295,12 +295,16 @@ fn analyze_reports_violations_with_exit_1_and_stable_json() {
     let json1 = std::fs::read_to_string(&report).expect("report written even on failure");
     assert!(json1.contains("\"panic_path\": 1"), "{json1}");
     assert!(json1.contains("crates/mgard/src/lib.rs"), "{json1}");
+    assert!(json1.contains("\"wall_ms\""), "workspace runs record timing: {json1}");
 
-    // The report is byte-stable across runs.
+    // The report is byte-stable across runs, timing aside (wall time is
+    // the one legitimately volatile field).
+    let strip_timing =
+        |s: &str| s.lines().filter(|l| !l.contains("\"timing\"")).collect::<Vec<_>>().join("\n");
     let out = run();
     assert_eq!(out.status.code(), Some(1));
     let json2 = std::fs::read_to_string(&report).unwrap();
-    assert_eq!(json1, json2, "analyze report must be deterministic");
+    assert_eq!(strip_timing(&json1), strip_timing(&json2), "analyze report must be deterministic");
 
     // An allowlist entry flips the run green but keeps the audit trail.
     std::fs::write(
@@ -317,6 +321,112 @@ fn analyze_reports_violations_with_exit_1_and_stable_json() {
     let json3 = std::fs::read_to_string(&report).unwrap();
     assert!(json3.contains("\"panic_path\": 0"), "{json3}");
     assert!(json3.contains("\"reason\": \"fixture\""), "{json3}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_diff_gates_only_new_findings() {
+    // Baseline workflow: known findings pass the diff gate; a new finding
+    // fails it with exit 1 and a NEW: line naming the violation.
+    let dir = tempdir("analyze_diff");
+    let src = dir.join("crates/mgard/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(src.join("lib.rs"), "pub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }\n")
+        .unwrap();
+
+    let baseline = dir.join("analyze-baseline.json");
+    let out = pmrtool()
+        .args(["analyze", "--root"])
+        .arg(&dir)
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "--write-baseline must succeed even with findings: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::fs::read_to_string(&baseline).unwrap().contains("\"version\": 1"));
+
+    // Same findings, diffed against the fresh baseline: clean exit.
+    let diff = || {
+        pmrtool()
+            .args(["analyze", "--root"])
+            .arg(&dir)
+            .arg("--diff")
+            .arg(&baseline)
+            .output()
+            .unwrap()
+    };
+    let out = diff();
+    assert!(
+        out.status.success(),
+        "known findings must pass the diff gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 new, 1 known"));
+
+    // Introduce a second violation: only it should trip the gate.
+    std::fs::write(
+        src.join("extra.rs"),
+        "pub fn g(v: &[u8]) -> u8 { *v.last().expect(\"nonempty\") }\n",
+    )
+    .unwrap();
+    let out = diff();
+    assert_eq!(out.status.code(), Some(1), "a new finding must fail the diff gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("NEW:"), "{stderr}");
+    assert!(stderr.contains("extra.rs"), "the new file is named: {stderr}");
+    assert!(!stderr.contains("lib.rs"), "the known finding is not re-reported: {stderr}");
+
+    // A corrupt baseline must fail loudly rather than silently un-gate.
+    std::fs::write(&baseline, "{\"version\": 9}").unwrap();
+    let out = diff();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("baseline"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_fails_on_stale_suppressions() {
+    let dir = tempdir("analyze_stale");
+    let src = dir.join("crates/mgard/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(src.join("lib.rs"), "pub fn calm() {}\n").unwrap();
+    std::fs::write(
+        dir.join("analyze.toml"),
+        "[[allow]]\nlint = \"panic_path\"\npath = \"crates/mgard/src/lib.rs\"\nreason = \"nothing panics here anymore\"\n",
+    )
+    .unwrap();
+    let out = pmrtool().args(["analyze", "--root"]).arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "a matching-nothing allowlist entry must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stale_suppression"), "{stdout}");
+    assert!(stdout.contains("analyze.toml"), "the finding points at the config: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_writes_sarif() {
+    let dir = tempdir("analyze_sarif");
+    let src = dir.join("crates/mgard/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(src.join("lib.rs"), "pub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }\n")
+        .unwrap();
+    let sarif = dir.join("analyze.sarif");
+    let out = pmrtool()
+        .args(["analyze", "--root"])
+        .arg(&dir)
+        .arg("--sarif")
+        .arg(&sarif)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "violations still exit 1 with --sarif");
+    let doc = std::fs::read_to_string(&sarif).expect("SARIF written even on failure");
+    assert!(doc.contains("\"version\": \"2.1.0\""), "{doc}");
+    assert!(doc.contains("\"ruleId\": \"panic_path\""), "{doc}");
+    assert!(doc.contains("pmrFingerprint/v1"), "{doc}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
