@@ -11,7 +11,7 @@
 use pmr_analysis as analysis;
 use pmr_bench::{bench_size, bench_timesteps, datasets, human_bytes, output, sci};
 use pmr_field::ops::downsample;
-use pmr_mgard::{CompressConfig, Compressed, RetrievalPlan};
+use pmr_mgard::{CompressConfig, Compressed, DecodeOptions, RetrievalPlan};
 use pmr_sim::WarpXField;
 
 fn main() {
@@ -68,7 +68,7 @@ fn main() {
             *p = 24;
         }
         let plan = RetrievalPlan::from_planes(planes);
-        let coarse = c.retrieve_at_level(&plan, target);
+        let coarse = c.decode_plan(&plan, &DecodeOptions::at_level(target)).expect("coarse plan");
         let reference = downsample(&field, stride);
         let r = analysis::fidelity(&reference, &coarse);
         rows2.push(vec![

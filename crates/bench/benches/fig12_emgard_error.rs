@@ -8,7 +8,7 @@
 
 use pmr_bench::{bench_size, bench_timesteps, datasets, output, sci, setup};
 use pmr_core::emgard::{build_samples, EMgard};
-use pmr_core::framework::execute;
+use pmr_core::{retrieve, Backend, Dataset, RetrievalRequest, Theory};
 use pmr_mgard::Compressed;
 use pmr_sim::WarpXField;
 
@@ -45,23 +45,27 @@ fn main() {
     let mut total = 0usize;
     for &rel in &setup::sparse_rel_bounds() {
         let abs = c.absolute_bound(rel);
-        let tplan = c.plan_theory(abs);
-        let eplan = c.plan_with_constants(abs, &constants);
-        let tout = execute(&field, &c, &tplan).expect("theory plan matches artifact");
-        let eout = execute(&field, &c, &eplan).expect("emgard plan matches artifact");
+        let ds = Dataset::new(&c).with_original(&field);
+        let req = RetrievalRequest::abs(abs).measured();
+        let tout =
+            retrieve(&ds, &Theory, &req, &Backend::Direct).expect("theory plan matches artifact");
+        let eout =
+            retrieve(&ds, &emgard, &req, &Backend::Direct).expect("emgard plan matches artifact");
+        let t_err = tout.achieved_error.unwrap_or(f64::NAN);
+        let e_err = eout.achieved_error.unwrap_or(f64::NAN);
         // Distance from the input bound in log space (smaller = better
         // error control).
-        let dt = (abs / tout.achieved_err.max(1e-300)).log10().abs();
-        let de = (abs / eout.achieved_err.max(1e-300)).log10().abs();
+        let dt = (abs / t_err.max(1e-300)).log10().abs();
+        let de = (abs / e_err.max(1e-300)).log10().abs();
         if de <= dt + 1e-12 {
             closer += 1;
         }
         total += 1;
         rows.push(vec![
-            format!("{:.1}", tout.psnr),
+            format!("{:.1}", tout.psnr.unwrap_or(f64::NAN)),
             sci(abs),
-            sci(tout.achieved_err),
-            sci(eout.achieved_err),
+            sci(t_err),
+            sci(e_err),
         ]);
     }
     output::print_table(

@@ -8,7 +8,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pmr_core::emgard::level_signature;
 use pmr_field::{Field, Shape};
 use pmr_mgard::{
-    retrieve_many, CompressConfig, Compressed, Decomposer, ExecPolicy, LevelEncoding, TransformMode,
+    retrieve_many, CompressConfig, Compressed, DecodeOptions, Decomposer, ExecPolicy,
+    LevelEncoding, TransformMode,
 };
 use pmr_nn::{Activation, Dataset, Matrix, Mlp, TrainConfig};
 use std::hint::black_box;
@@ -131,7 +132,10 @@ fn bench_batch_retrieval(c: &mut Criterion) {
         b.iter(|| {
             items
                 .iter()
-                .map(|(a, p)| a.retrieve_with(black_box(p), &ExecPolicy::serial()))
+                .map(|(a, p)| {
+                    a.decode_plan(black_box(p), &DecodeOptions::with_exec(ExecPolicy::serial()))
+                        .expect("theory plan matches its artifact")
+                })
                 .collect::<Vec<_>>()
         })
     });

@@ -19,7 +19,7 @@
 use crate::fields::{catalogue, FieldClass};
 use crate::sweep::{SWEEP_LEVELS, SWEEP_PLANES};
 use pmr_field::Field;
-use pmr_mgard::{persist, CompressConfig, Compressed, ExecPolicy, RetrievalPlan};
+use pmr_mgard::{persist, CompressConfig, Compressed, DecodeOptions, ExecPolicy, RetrievalPlan};
 
 fn compress_cfg(threads: usize) -> CompressConfig {
     CompressConfig {
@@ -63,8 +63,12 @@ pub fn check_serial_parallel_identity(seed: u64, failures: &mut Vec<String>) {
         }
         for rel in [1e-2, 1e-4] {
             let plan = serial.plan_theory(serial.absolute_bound(rel));
-            let a = serial.retrieve_with(&plan, &ExecPolicy::serial());
-            let b = parallel.retrieve_with(&plan, &ExecPolicy::with_threads(4));
+            let a = serial
+                .decode_plan(&plan, &DecodeOptions::with_exec(ExecPolicy::serial()))
+                .expect("theory plan matches its artifact");
+            let b = parallel
+                .decode_plan(&plan, &DecodeOptions::with_exec(ExecPolicy::with_threads(4)))
+                .expect("theory plan matches its artifact");
             if bits(&a) != bits(&b) {
                 failures.push(format!(
                     "differential: {} serial vs parallel retrieval differs at rel {rel}",
@@ -132,15 +136,16 @@ pub fn check_monotonicity(seed: u64, failures: &mut Vec<String>) {
         let mut last_err = f64::INFINITY;
         for planes in (0..=SWEEP_PLANES).step_by(4) {
             let plan = RetrievalPlan::from_planes(vec![planes; c.num_levels()]);
-            let m = c.retrieve_measured(&plan, &field).expect("uniform plan");
-            if m.achieved_error > last_err * 1.05 + 1e-12 {
+            let out = c.decode_plan(&plan, &DecodeOptions::default()).expect("uniform plan");
+            let achieved = pmr_field::error::max_abs_error(field.data(), out.data());
+            if achieved > last_err * 1.05 + 1e-12 {
                 failures.push(format!(
                     "differential: {} error rose from {last_err:.3e} to {:.3e} at {planes} planes",
                     field.name(),
-                    m.achieved_error
+                    achieved
                 ));
             }
-            last_err = m.achieved_error;
+            last_err = achieved;
         }
     }
 }

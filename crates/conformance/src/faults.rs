@@ -17,7 +17,7 @@ use crate::sweep::{SWEEP_LEVELS, SWEEP_PLANES};
 use pmr_field::{error::max_abs_error, Field};
 use pmr_mgard::{CompressConfig, Compressed};
 use pmr_storage::{
-    retrieve_tolerant, FaultConfig, FaultInjector, MemStore, RetryPolicy, TolerantConfig,
+    fetch_plan_tolerant, FaultConfig, FaultInjector, MemStore, RetryPolicy, TolerantConfig,
 };
 
 /// A named fault schedule of the grid.
@@ -214,7 +214,14 @@ pub fn run_fault_grid(cfg: &FaultGridConfig) -> FaultReport {
                             schedule.config(fault_seed),
                         )
                         .expect("schedule configs are valid");
-                        let out = retrieve_tolerant(&c, &inj, bound, &tolerant, None);
+                        let out = fetch_plan_tolerant(
+                            &c,
+                            &inj,
+                            &c.plan_theory(bound),
+                            bound,
+                            &tolerant,
+                            None,
+                        );
                         (out, inj.log())
                     };
                     let (outcome, log) = run();

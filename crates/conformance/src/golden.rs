@@ -23,7 +23,7 @@
 use crate::json::{parse, Json};
 use crate::sweep::{SWEEP_LEVELS, SWEEP_PLANES};
 use pmr_field::{Field, Shape};
-use pmr_mgard::{persist, CompressConfig, Compressed, ExecPolicy};
+use pmr_mgard::{persist, CompressConfig, Compressed, DecodeOptions, ExecPolicy};
 use std::path::Path;
 
 /// Bump when the golden corpus itself changes shape (not when blobs are
@@ -102,7 +102,9 @@ fn probe_json(field: &Field, c: &Compressed) -> Json {
             let abs = c.absolute_bound(rel);
             let plan = c.plan_theory(abs);
             let m = {
-                let out = c.retrieve_with(&plan, &ExecPolicy::serial());
+                let out = c
+                    .decode_plan(&plan, &DecodeOptions::with_exec(ExecPolicy::serial()))
+                    .expect("theory plan matches its artifact");
                 let err = pmr_field::error::max_abs_error(field.data(), out.data());
                 (c.retrieved_bytes(&plan), err)
             };
@@ -253,7 +255,9 @@ fn verify_artifact(dir: &Path, entry: &Json, name: &str) -> Result<(), String> {
         if probe.get("bytes").and_then(Json::as_usize) != Some(bytes as usize) {
             return Err(format!("golden: {name}: probe {i}: fetched bytes changed"));
         }
-        let out = parsed.retrieve_with(&plan, &ExecPolicy::serial());
+        let out = parsed
+            .decode_plan(&plan, &DecodeOptions::with_exec(ExecPolicy::serial()))
+            .map_err(|e| format!("golden: {name}: probe {i}: {e}"))?;
         let achieved = pmr_field::error::max_abs_error(field.data(), out.data());
         let recorded = hex_bits(probe.get("achieved_bits"))
             .ok_or_else(|| format!("golden: {name}: probe {i}: bad achieved_bits"))?;

@@ -166,7 +166,11 @@ pub fn build_samples_with(
             (0..nl).map(|_| rng.random_range(0..=b)).collect()
         };
         let plan = RetrievalPlan::from_planes(planes.clone());
-        let rec = compressed.retrieve_with(&plan, exec);
+        let opts = pmr_mgard::DecodeOptions::with_exec(*exec);
+        let rec = compressed
+            .decode_plan(&plan, &opts)
+            // lint:allow(panic_path): plane counts are clamped to this artifact's capacity above, so decode_plan cannot fail
+            .expect("sampled plane counts are clamped to the artifact's capacity");
         let actual_err = max_abs_error(field.data(), rec.data());
         let level_errs: Vec<f64> =
             compressed.levels().iter().zip(&planes).map(|(l, &p)| l.error_at(p)).collect();

@@ -5,7 +5,7 @@
 use crate::dmgard::{DMgard, DMgardConfig};
 use crate::emgard::{build_samples_many, EMgard, EMgardConfig, TrainSample};
 use crate::features;
-use crate::framework::{execute, RetrievalOutcome};
+use crate::framework::{measure_plan, RetrievalSummary};
 use crate::records::{collect_records_many, RetrievalRecord};
 use pmr_error::PmrError;
 use pmr_field::Field;
@@ -100,12 +100,12 @@ pub struct ComparisonRow {
     pub timestep: usize,
     pub rel_bound: f64,
     pub abs_bound: f64,
-    pub theory: RetrievalOutcome,
-    pub dmgard: RetrievalOutcome,
-    pub emgard: RetrievalOutcome,
+    pub theory: RetrievalSummary,
+    pub dmgard: RetrievalSummary,
+    pub emgard: RetrievalSummary,
     /// The combined D+E retriever (extension; see
     /// [`TrainedModels::plan_combined`]).
-    pub combined: RetrievalOutcome,
+    pub combined: RetrievalSummary,
 }
 
 impl ComparisonRow {
@@ -165,10 +165,10 @@ pub fn compare_on_field(
                 timestep: field.timestep(),
                 rel_bound: rel,
                 abs_bound: abs,
-                theory: execute(field, &compressed, &tplan)?,
-                dmgard: execute(field, &compressed, &dplan)?,
-                emgard: execute(field, &compressed, &eplan)?,
-                combined: execute(field, &compressed, &cplan)?,
+                theory: measure_plan(field, &compressed, &tplan)?,
+                dmgard: measure_plan(field, &compressed, &dplan)?,
+                emgard: measure_plan(field, &compressed, &eplan)?,
+                combined: measure_plan(field, &compressed, &cplan)?,
             })
         })
         .collect()

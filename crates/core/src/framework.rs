@@ -118,9 +118,13 @@ impl Retriever for AnyRetriever {
     }
 }
 
-/// The measured result of executing a plan.
+/// The measured summary of executing a plan (planes, bytes, error, PSNR).
+///
+/// This is the row type persisted in experiment records; for the full
+/// retrieval result (field, stats, degradation) see
+/// [`crate::api::RetrievalOutcome`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RetrievalOutcome {
+pub struct RetrievalSummary {
     pub planes: Vec<u32>,
     /// Bytes fetched (Equation 1).
     pub bytes: u64,
@@ -130,22 +134,60 @@ pub struct RetrievalOutcome {
     pub psnr: f64,
 }
 
+/// Old name of [`RetrievalSummary`], before `RetrievalOutcome` became the
+/// result type of the unified [`crate::api::retrieve`] entry point.
+#[deprecated(
+    since = "0.6.0",
+    note = "renamed to RetrievalSummary; the unified \
+    API's result type is pmr_core::api::RetrievalOutcome"
+)]
+pub type RetrievalOutcome = RetrievalSummary;
+
+/// Decode `plan` and measure against `original` (internal, non-deprecated
+/// core of the legacy `execute` shim and the sweep/record paths).
+pub(crate) fn measure_plan(
+    original: &Field,
+    compressed: &Compressed,
+    plan: &RetrievalPlan,
+) -> Result<RetrievalSummary, PmrError> {
+    if plan.planes.len() != compressed.num_levels() {
+        return Err(PmrError::invalid_config(format!(
+            "plan has {} levels but the artifact has {}",
+            plan.planes.len(),
+            compressed.num_levels()
+        )));
+    }
+    if original.shape() != compressed.shape() {
+        return Err(PmrError::invalid_config(format!(
+            "original field shape {:?} does not match artifact shape {:?}",
+            original.shape(),
+            compressed.shape()
+        )));
+    }
+    let field = compressed.decode_plan(plan, &pmr_mgard::DecodeOptions::default())?;
+    Ok(RetrievalSummary {
+        planes: plan.planes.clone(),
+        bytes: compressed.retrieved_bytes(plan),
+        achieved_err: error::max_abs_error(original.data(), field.data()),
+        psnr: error::psnr(original.data(), field.data()),
+    })
+}
+
 /// Execute `plan` against `compressed` and measure against `original`.
 ///
 /// Fails when the plan does not match the artifact (wrong level count) or
 /// the original does not match the artifact's shape.
+#[deprecated(
+    since = "0.6.0",
+    note = "use pmr_core::api::retrieve with \
+    RetrievalRequest::plane_set(plan.planes).measured() instead"
+)]
 pub fn execute(
     original: &Field,
     compressed: &Compressed,
     plan: &RetrievalPlan,
-) -> Result<RetrievalOutcome, PmrError> {
-    let m = compressed.retrieve_measured(plan, original)?;
-    Ok(RetrievalOutcome {
-        planes: plan.planes.clone(),
-        bytes: m.bytes,
-        achieved_err: m.achieved_error,
-        psnr: error::psnr(original.data(), m.field.data()),
-    })
+) -> Result<RetrievalSummary, PmrError> {
+    measure_plan(original, compressed, plan)
 }
 
 #[cfg(test)]
@@ -167,7 +209,7 @@ mod tests {
         assert_eq!(r.name(), "MGARD");
         let bound = c.absolute_bound(1e-3);
         let plan = r.plan(&ctx, bound);
-        let outcome = execute(&field, &c, &plan).unwrap();
+        let outcome = measure_plan(&field, &c, &plan).unwrap();
         assert!(outcome.achieved_err <= bound);
         assert!(outcome.bytes > 0);
         assert!(outcome.psnr > 20.0);

@@ -16,6 +16,7 @@
 //! retrieval strategies behind one interface, and [`experiment`] orchestrates
 //! the train-on-early / test-on-late evaluation protocol of §IV.
 
+pub mod api;
 pub mod dmgard;
 pub mod emgard;
 pub mod experiment;
@@ -25,11 +26,15 @@ pub mod records;
 pub mod sweep;
 pub mod tolerant;
 
+pub use api::{
+    retrieve, Backend, Dataset, RetrievalOutcome, RetrievalRequest, RetrievalTarget, Tolerance,
+};
 pub use dmgard::{DMgard, DMgardConfig};
 pub use emgard::{build_samples_many, EMgard, EMgardConfig};
 pub use framework::{
-    AnyRetriever, Combined, RetrievalContext, RetrievalOutcome, Retriever, Theory,
+    AnyRetriever, Combined, RetrievalContext, RetrievalSummary, Retriever, Theory,
 };
 pub use records::{collect_records, collect_records_many, standard_rel_bounds, RetrievalRecord};
 pub use sweep::{sweep, sweep_strategy, SweepPoint};
+#[allow(deprecated)]
 pub use tolerant::execute_tolerant;

@@ -72,7 +72,11 @@ pub fn collect_records_with(
         let abs = compressed.absolute_bound(rel);
         let plan = compressed.plan_theory(abs);
         let achieved = *achieved_cache.entry(plan.planes.clone()).or_insert_with(|| {
-            let rec = compressed.retrieve_with(&plan, exec);
+            let opts = pmr_mgard::DecodeOptions::with_exec(*exec);
+            let rec = compressed
+                .decode_plan(&plan, &opts)
+                // lint:allow(panic_path): the plan was produced by plan_theory on this same artifact, so decode_plan cannot fail
+                .expect("theory plan always matches its own artifact");
             max_abs_error(field.data(), rec.data())
         });
         let retrieved_bytes = compressed.retrieved_bytes(&plan);

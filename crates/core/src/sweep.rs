@@ -73,8 +73,7 @@ impl SweepPoint {
 /// Sweep one strategy over `abs_bounds` for a single artifact.
 ///
 /// `original` must be the exact field the artifact was compressed from;
-/// achieved errors are measured against it via
-/// [`Compressed::retrieve_measured`].
+/// achieved errors are measured against it.
 ///
 /// Fails when the retriever produces a plan that does not match the
 /// artifact (e.g. a model trained for a different level count).
@@ -91,14 +90,14 @@ pub fn sweep_strategy(
         .iter()
         .map(|&abs_bound| {
             let plan = retriever.plan(&ctx, abs_bound);
-            let m = compressed.retrieve_measured(&plan, original)?;
+            let m = crate::framework::measure_plan(original, compressed, &plan)?;
             Ok(SweepPoint {
                 strategy: retriever.name().to_string(),
                 field_name: original.name().to_string(),
                 timestep: original.timestep(),
                 abs_bound,
-                estimated_err: m.estimated_error,
-                achieved_err: m.achieved_error,
+                estimated_err: plan.estimated_error,
+                achieved_err: m.achieved_err,
                 bytes: m.bytes,
                 total_bytes,
                 planes: plan.planes,

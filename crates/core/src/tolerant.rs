@@ -24,6 +24,11 @@ use pmr_storage::{
 /// capacity before execution (fetching every plane of a level is the most
 /// it can mean). Everything downstream is the storage-layer contract:
 /// retries, checksum verification, degraded reports with sound bounds.
+#[deprecated(
+    since = "0.6.0",
+    note = "use pmr_core::api::retrieve with \
+    Backend::Store — the unified API plans, clamps, and executes tolerantly"
+)]
 pub fn execute_tolerant(
     retriever: &dyn Retriever,
     ctx: &RetrievalContext<'_>,
@@ -44,6 +49,7 @@ pub fn execute_tolerant(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy shim; the unified path is covered in `api::tests`
 mod tests {
     use super::*;
     use crate::features::retrieval_features;

@@ -6,7 +6,7 @@ use crate::bitplane::{LevelEncoding, DEFAULT_BITPLANES};
 use crate::decompose::{Decomposer, TransformMode};
 use crate::estimate::{estimate_error, theory_constants};
 use crate::exec::{ExecPolicy, AUTO, PARALLEL_MIN_COEFFS, PARALLEL_MIN_POINTS};
-use crate::retrieve::{greedy_plan, plan_size, RetrievalPlan};
+use crate::retrieve::{greedy_plan, greedy_plan_budget, plan_size, RetrievalPlan};
 use pmr_error::PmrError;
 use pmr_field::{Field, Shape};
 use serde::{Deserialize, Serialize};
@@ -362,6 +362,14 @@ impl Compressed {
         greedy_plan(&self.levels, constants, abs_err)
     }
 
+    /// Plan the best retrieval that fits within `byte_budget` compressed
+    /// bytes, spending the budget by accuracy efficiency (the dual of
+    /// [`Compressed::plan_theory`]: bytes are the constraint, error the
+    /// objective).
+    pub fn plan_budget(&self, byte_budget: u64) -> RetrievalPlan {
+        greedy_plan_budget(&self.levels, &self.constants, byte_budget)
+    }
+
     /// Plan that fetches every plane (lossless-to-quantization retrieval).
     pub fn plan_full(&self) -> RetrievalPlan {
         let planes: Vec<u32> = self.levels.iter().map(|l| l.num_planes()).collect();
@@ -446,14 +454,45 @@ impl Compressed {
     }
 
     /// Decode the planes selected by `plan` and recompose the approximation.
+    ///
+    /// This is the low-level decode primitive: it trusts the plan (a
+    /// mismatched level count panics, exactly as a slice index would) and
+    /// uses the artifact's own execution policy. Callers that want
+    /// validation, coarse-grid decoding, per-call execution policies, or
+    /// error measurement should go through `pmr_core`'s unified
+    /// `RetrievalRequest` API (or [`Compressed::decode_plan`] directly).
     pub fn retrieve(&self, plan: &RetrievalPlan) -> Field {
-        self.retrieve_with(plan, &self.exec)
+        assert_eq!(plan.planes.len(), self.levels.len(), "plan/levels mismatch");
+        self.decode_full(plan, &self.exec)
     }
 
-    /// [`Compressed::retrieve`] with the execution policy overridden (used
-    /// by the batch APIs to run whole retrievals serially inside workers).
-    pub fn retrieve_with(&self, plan: &RetrievalPlan, exec: &ExecPolicy) -> Field {
-        assert_eq!(plan.planes.len(), self.levels.len(), "plan/levels mismatch");
+    /// Validated decode with per-call options — the primitive behind
+    /// `pmr_core`'s `RetrievalRequest` API. Shape/plan mismatches and
+    /// out-of-range coarse levels are errors, never panics.
+    pub fn decode_plan(
+        &self,
+        plan: &RetrievalPlan,
+        opts: &DecodeOptions,
+    ) -> Result<Field, PmrError> {
+        self.validate_plan(plan)?;
+        let exec = opts.exec.unwrap_or(self.exec);
+        match opts.coarse_level {
+            None => Ok(self.decode_full(plan, &exec)),
+            Some(target_level) => {
+                if target_level >= self.num_levels() {
+                    return Err(PmrError::invalid_config(format!(
+                        "coarse level {target_level} out of range for {}-level artifact",
+                        self.num_levels()
+                    )));
+                }
+                Ok(self.decode_coarse(plan, target_level, &exec))
+            }
+        }
+    }
+
+    /// Unvalidated full-resolution decode shared by [`Compressed::retrieve`]
+    /// and [`Compressed::decode_plan`].
+    pub(crate) fn decode_full(&self, plan: &RetrievalPlan, exec: &ExecPolicy) -> Field {
         let coeffs: Vec<Vec<f64>> = self
             .levels
             .iter()
@@ -466,14 +505,51 @@ impl Compressed {
         Field::new(self.name.clone(), self.timestep, self.decomposer.shape(), data)
     }
 
+    /// Unvalidated coarse-resolution decode: recompose only up to the grid
+    /// of `target_level` (`0` = coarsest). Levels finer than the target
+    /// contribute nothing, so a matching plan should fetch zero planes from
+    /// them — the combined I/O + compute saving of progressive storage
+    /// (paper §I).
+    fn decode_coarse(&self, plan: &RetrievalPlan, target_level: usize, exec: &ExecPolicy) -> Field {
+        let coeffs: Vec<Vec<f64>> = self
+            .levels
+            .iter()
+            .zip(&plan.planes)
+            .enumerate()
+            .map(|(l, (lvl, &b))| {
+                if l <= target_level {
+                    lvl.decode_with(b, &exec.gate(lvl.count(), PARALLEL_MIN_COEFFS))
+                } else {
+                    vec![0.0; lvl.count()]
+                }
+            })
+            .collect();
+        let mut data = self.decomposer.deinterleave(&coeffs);
+        let gated = exec.gate(data.len(), PARALLEL_MIN_POINTS);
+        let coarse = self.decomposer.recompose_to_level_with(&mut data, target_level, &gated);
+        Field::new(
+            self.name.clone(),
+            self.timestep,
+            self.decomposer.grid_shape_at_level(target_level),
+            coarse,
+        )
+    }
+
+    /// [`Compressed::retrieve`] with the execution policy overridden.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `pmr_core`'s `RetrievalRequest` with an exec policy, or `Compressed::decode_plan` with `DecodeOptions { exec, .. }`"
+    )]
+    pub fn retrieve_with(&self, plan: &RetrievalPlan, exec: &ExecPolicy) -> Field {
+        assert_eq!(plan.planes.len(), self.levels.len(), "plan/levels mismatch");
+        self.decode_full(plan, exec)
+    }
+
     /// Execute `plan` with full error accounting against `original`.
-    ///
-    /// This is the measurement surface conformance tooling builds on: it
-    /// returns the reconstruction together with the bytes fetched, the
-    /// plan's own error claim, and the *measured* `L∞` error — so a bound
-    /// check compares ground truth, not the estimator, against the request.
-    /// Unlike [`Compressed::retrieve`], shape or plan mismatches come back
-    /// as [`PmrError::InvalidConfig`] instead of a panic.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `pmr_core`'s `RetrievalRequest::measured()` — the unified API returns achieved error and PSNR in its `RetrievalOutcome`"
+    )]
     pub fn retrieve_measured(
         &self,
         plan: &RetrievalPlan,
@@ -493,7 +569,7 @@ impl Compressed {
                 self.shape()
             )));
         }
-        let field = self.retrieve(plan);
+        let field = self.decode_full(plan, &self.exec);
         let achieved_error = pmr_field::error::max_abs_error(original.data(), field.data());
         Ok(MeasuredRetrieval {
             bytes: self.retrieved_bytes(plan),
@@ -503,36 +579,38 @@ impl Compressed {
         })
     }
 
-    /// Retrieve a *coarse-resolution* approximation: recompose only up to
-    /// the grid of `target_level` (`0` = coarsest). Levels finer than the
-    /// target contribute nothing, so a matching plan should fetch zero
-    /// planes from them — the combined I/O + compute saving of progressive
-    /// storage (paper §I).
+    /// Retrieve a coarse-resolution approximation (see
+    /// [`Compressed::decode_plan`] with `DecodeOptions::at_level`).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `pmr_core`'s `RetrievalRequest::at_level`, or `Compressed::decode_plan` with `DecodeOptions::at_level`"
+    )]
     pub fn retrieve_at_level(&self, plan: &RetrievalPlan, target_level: usize) -> Field {
         assert_eq!(plan.planes.len(), self.levels.len(), "plan/levels mismatch");
         assert!(target_level < self.num_levels(), "level out of range");
-        let coeffs: Vec<Vec<f64>> = self
-            .levels
-            .iter()
-            .zip(&plan.planes)
-            .enumerate()
-            .map(|(l, (lvl, &b))| {
-                if l <= target_level {
-                    lvl.decode_with(b, &self.exec.gate(lvl.count(), PARALLEL_MIN_COEFFS))
-                } else {
-                    vec![0.0; lvl.count()]
-                }
-            })
-            .collect();
-        let mut data = self.decomposer.deinterleave(&coeffs);
-        let gated = self.exec.gate(data.len(), PARALLEL_MIN_POINTS);
-        let coarse = self.decomposer.recompose_to_level_with(&mut data, target_level, &gated);
-        Field::new(
-            self.name.clone(),
-            self.timestep,
-            self.decomposer.grid_shape_at_level(target_level),
-            coarse,
-        )
+        self.decode_coarse(plan, target_level, &self.exec)
+    }
+}
+
+/// Per-call options for [`Compressed::decode_plan`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodeOptions {
+    /// Execution policy override; `None` uses the artifact's own policy.
+    pub exec: Option<ExecPolicy>,
+    /// Recompose only up to this level's grid (`0` = coarsest); `None`
+    /// decodes at full resolution.
+    pub coarse_level: Option<usize>,
+}
+
+impl DecodeOptions {
+    /// Options for a coarse-grid decode at `level`.
+    pub fn at_level(level: usize) -> Self {
+        DecodeOptions { exec: None, coarse_level: Some(level) }
+    }
+
+    /// Options with the execution policy overridden.
+    pub fn with_exec(exec: ExecPolicy) -> Self {
+        DecodeOptions { exec: Some(exec), coarse_level: None }
     }
 }
 
@@ -569,7 +647,8 @@ pub fn retrieve_many(items: &[(&Compressed, &RetrievalPlan)]) -> Vec<Field> {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some((c, plan)) = items.get(i) else { break };
-                let field = c.retrieve_with(plan, &ExecPolicy::serial());
+                assert_eq!(plan.planes.len(), c.levels.len(), "plan/levels mismatch");
+                let field = c.decode_full(plan, &ExecPolicy::serial());
                 // See `compress_many`: poison implies a worker panic that
                 // the scope re-raises on join.
                 slots.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(field);
@@ -742,7 +821,7 @@ mod tests {
         let cfg = CompressConfig { mode: TransformMode::Interpolation, ..Default::default() };
         let c = Compressed::compress(&field, &cfg);
         let plan = c.plan_full();
-        let coarse = c.retrieve_at_level(&plan, 0);
+        let coarse = c.decode_plan(&plan, &DecodeOptions::at_level(0)).expect("valid plan");
         let steps = c.num_levels() - 1;
         let stride = 1usize << steps;
         let cs = coarse.shape();
@@ -767,7 +846,7 @@ mod tests {
         planes[0] = c.num_planes();
         planes[1] = c.num_planes();
         let plan = RetrievalPlan::from_planes(planes);
-        let coarse = c.retrieve_at_level(&plan, 1);
+        let coarse = c.decode_plan(&plan, &DecodeOptions::at_level(1)).expect("valid plan");
         assert_eq!(coarse.shape(), c.decomposer().grid_shape_at_level(1));
         assert!(coarse.data().iter().all(|v| v.is_finite()));
         // The fetched bytes exclude the fine levels entirely.
@@ -845,6 +924,40 @@ mod tests {
     }
 
     #[test]
+    fn decode_plan_validates_and_matches_retrieve() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let plan = c.plan_theory(1e-3);
+        let full = c.decode_plan(&plan, &DecodeOptions::default()).expect("valid plan");
+        assert_eq!(full.data(), c.retrieve(&plan).data());
+        // Serial override is bit-identical to the default policy.
+        let serial = c
+            .decode_plan(&plan, &DecodeOptions::with_exec(ExecPolicy::serial()))
+            .expect("valid plan");
+        assert_eq!(serial.data(), full.data());
+        // Over-asking plans and out-of-range coarse levels are errors.
+        let bad = RetrievalPlan::from_planes(vec![c.num_planes() + 1; c.num_levels()]);
+        assert!(c.decode_plan(&bad, &DecodeOptions::default()).is_err());
+        let opts = DecodeOptions::at_level(c.num_levels());
+        assert!(c.decode_plan(&plan, &opts).is_err());
+    }
+
+    #[test]
+    fn budget_plan_fits_and_improves_with_budget() {
+        let field = wave_field(17);
+        let c = Compressed::compress(&field, &CompressConfig::default());
+        let total = c.total_bytes();
+        let small = c.plan_budget(total / 10);
+        let large = c.plan_budget(total / 2);
+        assert!(c.retrieved_bytes(&small) <= total / 10);
+        assert!(c.retrieved_bytes(&large) <= total / 2);
+        assert!(large.estimated_error <= small.estimated_error);
+        // Budget plans are valid plans: decode succeeds.
+        assert!(c.decode_plan(&large, &DecodeOptions::default()).is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn retrieve_measured_reports_ground_truth() {
         let field = wave_field(17);
         let c = Compressed::compress(&field, &CompressConfig::default());

@@ -40,10 +40,13 @@ pub mod transform;
 
 pub use bitplane::{LevelEncoding, DEFAULT_BITPLANES};
 pub use compress::{
-    retrieve_many, CompressConfig, CompressConfigBuilder, Compressed, MeasuredRetrieval,
+    retrieve_many, CompressConfig, CompressConfigBuilder, Compressed, DecodeOptions,
+    MeasuredRetrieval,
 };
 pub use decompose::{Decomposer, TransformMode};
 pub use estimate::theory_constants;
 pub use exec::ExecPolicy;
-pub use retrieve::{greedy_plan, greedy_plan_capped, plan_size, refine_plan, RetrievalPlan};
+pub use retrieve::{
+    greedy_plan, greedy_plan_budget, greedy_plan_capped, plan_size, refine_plan, RetrievalPlan,
+};
 pub use session::ProgressiveSession;

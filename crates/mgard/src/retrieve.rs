@@ -187,6 +187,57 @@ pub fn greedy_plan_capped(
     RetrievalPlan { planes: b, estimated_error: est }
 }
 
+/// Greedy plan under a byte budget: fetch planes by accuracy efficiency —
+/// the same ordering as [`greedy_plan`] — but stop when no remaining plane
+/// fits within `byte_budget` of cumulative compressed size.
+///
+/// This is the planner behind `RetrievalTarget::ByteBudget`: instead of
+/// "spend whatever it takes to reach error `e`", the caller says "spend at
+/// most `n` bytes and give me the best error those bytes can buy". The
+/// returned plan's `estimated_error` is the honest theory estimate at the
+/// selected planes.
+pub fn greedy_plan_budget(
+    levels: &[LevelEncoding],
+    constants: &[f64],
+    byte_budget: u64,
+) -> RetrievalPlan {
+    assert_eq!(levels.len(), constants.len(), "constants/levels mismatch");
+    let mut b: Vec<u32> = vec![0; levels.len()];
+    let mut est: f64 = levels.iter().zip(constants).map(|(l, &c)| c * l.error_at(0)).sum();
+    let mut spent: u64 = 0;
+
+    loop {
+        // Among planes that still fit in the budget, pick the best error
+        // reduction per byte (ties and zero-gain planes behave exactly as
+        // in `greedy_plan`, so budget- and tolerance-driven plans agree on
+        // the fetch order).
+        let mut best: Option<(usize, f64)> = None;
+        for (l, lvl) in levels.iter().enumerate() {
+            if b[l] >= lvl.num_planes() {
+                continue;
+            }
+            let size = lvl.plane_size(b[l]);
+            if spent.saturating_add(size) > byte_budget {
+                continue;
+            }
+            let gain = constants[l] * (lvl.error_at(b[l]) - lvl.error_at(b[l] + 1)).max(0.0);
+            let eff = gain / size.max(1) as f64;
+            if best.is_none_or(|(_, be)| eff > be) {
+                best = Some((l, eff));
+            }
+        }
+        let Some((l, _)) = best else {
+            break; // nothing left that fits
+        };
+        let old = constants[l] * levels[l].error_at(b[l]);
+        spent += levels[l].plane_size(b[l]);
+        b[l] += 1;
+        est += constants[l] * levels[l].error_at(b[l]) - old;
+    }
+
+    RetrievalPlan { planes: b, estimated_error: est }
+}
+
 /// The size interpreter: compressed bytes fetched under `plan`
 /// (Equation 1 of the paper).
 pub fn plan_size(levels: &[LevelEncoding], plan: &RetrievalPlan) -> u64 {
@@ -374,6 +425,57 @@ mod tests {
             capped.planes,
             free.planes
         );
+    }
+
+    #[test]
+    fn budget_plan_never_exceeds_budget() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let total: u64 = levels.iter().map(|l| l.total_size()).sum();
+        for budget in [0, 16, 64, 256, 1024, total, total + 100] {
+            let plan = greedy_plan_budget(&levels, &constants, budget);
+            assert!(plan_size(&levels, &plan) <= budget, "budget={budget}");
+        }
+    }
+
+    #[test]
+    fn budget_plan_error_is_monotone_in_budget() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let mut prev_err = f64::INFINITY;
+        let mut prev_size = 0;
+        for budget in [0u64, 32, 128, 512, 2048, 1 << 20] {
+            let plan = greedy_plan_budget(&levels, &constants, budget);
+            let size = plan_size(&levels, &plan);
+            assert!(plan.estimated_error <= prev_err, "budget={budget}");
+            assert!(size >= prev_size, "budget={budget}");
+            prev_err = plan.estimated_error;
+            prev_size = size;
+        }
+    }
+
+    #[test]
+    fn huge_budget_fetches_everything() {
+        let levels = toy_levels();
+        let constants = vec![1.0; 3];
+        let plan = greedy_plan_budget(&levels, &constants, u64::MAX);
+        for (l, lvl) in levels.iter().enumerate() {
+            assert_eq!(plan.planes[l], lvl.num_planes());
+        }
+    }
+
+    #[test]
+    fn budget_estimate_is_honest() {
+        let levels = toy_levels();
+        let constants = vec![2.0, 1.0, 0.5];
+        let plan = greedy_plan_budget(&levels, &constants, 300);
+        let expect: f64 = levels
+            .iter()
+            .zip(&constants)
+            .zip(&plan.planes)
+            .map(|((lvl, &c), &b)| c * lvl.error_at(b))
+            .sum();
+        assert!((plan.estimated_error - expect).abs() <= 1e-12 * (1.0 + expect));
     }
 
     #[test]

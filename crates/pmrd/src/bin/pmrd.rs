@@ -1,0 +1,145 @@
+//! The pmrd daemon binary.
+//!
+//! ```text
+//! pmrd --listen tcp:127.0.0.1:7070 --corpus ./artifacts \
+//!      [--workers 8] [--cache-mb 64] [--max-inflight 32] [--per-tenant 8]
+//! pmrd --listen unix:/tmp/pmrd.sock --corpus ./artifacts
+//! ```
+//!
+//! The corpus directory is scanned for `*.pmrc` artifacts (written by
+//! `pmrtool compress`); each is served under its file stem. The daemon
+//! runs until SIGINT/SIGTERM kills the process.
+
+use pmrd::{AdmissionConfig, Corpus, Daemon, DaemonConfig, Endpoint};
+use std::path::PathBuf;
+
+struct Args {
+    listen: String,
+    corpus: PathBuf,
+    workers: usize,
+    cache_mb: u64,
+    max_inflight: usize,
+    per_tenant: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pmrd --listen tcp:HOST:PORT|unix:PATH --corpus DIR \
+         [--workers N] [--cache-mb MB] [--max-inflight N] [--per-tenant N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: String::new(),
+        corpus: PathBuf::new(),
+        workers: 8,
+        cache_mb: 64,
+        max_inflight: 32,
+        per_tenant: 8,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen"),
+            "--corpus" => args.corpus = PathBuf::from(value("--corpus")),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--cache-mb" => args.cache_mb = parse_num(&value("--cache-mb"), "--cache-mb"),
+            "--max-inflight" => {
+                args.max_inflight = parse_num(&value("--max-inflight"), "--max-inflight")
+            }
+            "--per-tenant" => args.per_tenant = parse_num(&value("--per-tenant"), "--per-tenant"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.listen.is_empty() || args.corpus.as_os_str().is_empty() {
+        usage()
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} wants a number, got {s:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let corpus = match Corpus::load_dir(&args.corpus) {
+        Ok(c) if !c.is_empty() => c,
+        Ok(_) => {
+            eprintln!("corpus {:?} holds no *.pmrc artifacts", args.corpus);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("failed to load corpus {:?}: {e}", args.corpus);
+            std::process::exit(1);
+        }
+    };
+    eprintln!("pmrd: serving {} dataset(s): {}", corpus.len(), corpus.names().join(", "));
+
+    let cfg = DaemonConfig {
+        workers: args.workers.max(1),
+        cache_bytes: args.cache_mb.saturating_mul(1 << 20),
+        admission: AdmissionConfig {
+            max_inflight: args.max_inflight.max(1),
+            max_inflight_per_tenant: args.per_tenant.max(1),
+        },
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::new(corpus, cfg);
+
+    let handle = if let Some(addr) = args.listen.strip_prefix("tcp:") {
+        daemon.spawn_tcp(addr)
+    } else if let Some(path) = args.listen.strip_prefix("unix:") {
+        spawn_unix(&daemon, path)
+    } else {
+        eprintln!("--listen must be tcp:HOST:PORT or unix:PATH, got {:?}", args.listen);
+        std::process::exit(2);
+    };
+    let handle = match handle {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("pmrd: failed to bind {:?}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    match handle.endpoint() {
+        Endpoint::Tcp(a) => eprintln!("pmrd: listening on tcp:{a}"),
+        Endpoint::Unix(p) => eprintln!("pmrd: listening on unix:{}", p.display()),
+    }
+
+    // Serve until the process is killed: the acceptor and workers own the
+    // runtime; this thread just parks.
+    loop {
+        std::thread::park();
+    }
+}
+
+#[cfg(unix)]
+fn spawn_unix(daemon: &std::sync::Arc<Daemon>, path: &str) -> std::io::Result<pmrd::DaemonHandle> {
+    // A stale socket file from a crashed daemon would fail the bind.
+    let _ = std::fs::remove_file(path);
+    daemon.spawn_unix(path)
+}
+
+#[cfg(not(unix))]
+fn spawn_unix(_: &std::sync::Arc<Daemon>, path: &str) -> std::io::Result<pmrd::DaemonHandle> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        format!("unix sockets unavailable on this platform: {path}"),
+    ))
+}

@@ -1,0 +1,148 @@
+//! The daemon's corpus: named compressed artifacts plus the segment
+//! store each one is served from.
+//!
+//! `pmrd` owns the *manifests* (the [`Compressed`] metadata: level
+//! layout, error tables, checksums) in memory, while plane payloads are
+//! pulled through the shared cache from each dataset's
+//! [`SegmentStore`] — an in-memory clone for directory-loaded corpora
+//! today, but any store (file-backed, fault-injected, counting
+//! wrappers in tests) plugs in per dataset.
+
+use pmr_error::PmrError;
+use pmr_mgard::{persist, Compressed};
+use pmr_storage::{MemStore, SegmentStore};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One served dataset.
+pub struct CorpusEntry {
+    /// Stable id used in cache keys (assigned at insertion).
+    pub id: u32,
+    /// The artifact's manifest (levels, error tables, plane payload
+    /// metadata used for checksum verification).
+    pub manifest: Compressed,
+    /// The backing store planes are fetched from.
+    pub store: Box<dyn SegmentStore>,
+}
+
+/// Name → dataset map. Built once at startup (or by tests), then shared
+/// read-only across request handlers.
+#[derive(Default)]
+pub struct Corpus {
+    by_name: BTreeMap<String, CorpusEntry>,
+    next_id: u32,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Add a dataset served from an explicit store. Returns its cache id.
+    /// Re-inserting a name replaces the dataset (the old id is retired —
+    /// stale cache entries simply age out of the LRU).
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        manifest: Compressed,
+        store: Box<dyn SegmentStore>,
+    ) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_name.insert(name.into(), CorpusEntry { id, manifest, store });
+        id
+    }
+
+    /// Add a dataset served from an in-memory clone of its own planes.
+    pub fn insert_mem(&mut self, name: impl Into<String>, manifest: Compressed) -> u32 {
+        let store = Box::new(MemStore::from_compressed(&manifest));
+        self.insert(name, manifest, store)
+    }
+
+    /// Load every `*.pmrc` artifact in `dir`; the dataset name is the file
+    /// stem. Non-artifact files are skipped; a corrupt artifact is an
+    /// error (a daemon silently serving half its corpus is worse than one
+    /// that fails loudly at startup).
+    pub fn load_dir(dir: &Path) -> Result<Corpus, PmrError> {
+        let mut corpus = Corpus::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| PmrError::io_at(dir, e))?;
+        let mut paths: Vec<_> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| PmrError::io_at(dir, e))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "pmrc") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        for path in paths {
+            let manifest = persist::load(&path)?;
+            let name =
+                path.file_stem().and_then(|s| s.to_str()).map(str::to_string).ok_or_else(|| {
+                    PmrError::invalid_config(format!("non-utf8 corpus file name: {path:?}"))
+                })?;
+            corpus.insert_mem(name, manifest);
+        }
+        Ok(corpus)
+    }
+
+    /// Look up a dataset by name.
+    pub fn get(&self, name: &str) -> Option<&CorpusEntry> {
+        self.by_name.get(name)
+    }
+
+    /// Dataset names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.by_name.keys().map(String::as_str).collect()
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Is the corpus empty?
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmr_field::{Field, Shape};
+    use pmr_mgard::CompressConfig;
+
+    fn artifact(name: &str) -> Compressed {
+        let field = Field::from_fn(name, 0, Shape::cube(9), |x, y, _| {
+            ((x as f64) * 0.5).sin() + (y as f64) * 0.03
+        });
+        Compressed::compress(&field, &CompressConfig::default())
+    }
+
+    #[test]
+    fn load_dir_names_datasets_by_file_stem() {
+        let dir = std::env::temp_dir().join(format!("pmrd_corpus_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for name in ["alpha", "beta"] {
+            persist::save(&artifact(name), &dir.join(format!("{name}.pmrc"))).expect("save");
+        }
+        std::fs::write(dir.join("notes.txt"), b"ignored").expect("write");
+        let corpus = Corpus::load_dir(&dir).expect("load");
+        assert_eq!(corpus.names(), vec!["alpha", "beta"]);
+        assert_eq!(corpus.len(), 2);
+        let entry = corpus.get("alpha").expect("present");
+        assert!(entry.store.contains((0, 0)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ids_are_distinct_across_insertions() {
+        let mut corpus = Corpus::new();
+        let a = corpus.insert_mem("a", artifact("a"));
+        let b = corpus.insert_mem("b", artifact("b"));
+        let b2 = corpus.insert_mem("b", artifact("b"));
+        assert!(a != b && b != b2, "replaced datasets must get fresh cache ids");
+    }
+}

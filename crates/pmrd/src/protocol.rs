@@ -1,0 +1,551 @@
+//! The pmrd wire protocol: length-prefixed binary frames over a byte
+//! stream (TCP or a unix socket).
+//!
+//! Every frame is `u32 LE length || payload`, with the length capped at
+//! [`MAX_FRAME`] so a corrupt prefix cannot make either side allocate
+//! unboundedly. One request frame yields a stream of response frames:
+//! zero or more plane frames (tag `P`) carrying the encoded bit-plane
+//! payloads the plan fetched, terminated by exactly one report frame
+//! (tag `R`) with the achieved-bound accounting. Rejections (busy,
+//! unknown dataset, malformed request) are a lone report frame with the
+//! corresponding [`Status`].
+//!
+//! Request layout (after the frame header):
+//!
+//! ```text
+//! "PRQ1"                       magic
+//! u16 len || utf8              tenant
+//! u16 len || utf8              dataset
+//! u8  kind                     0 abs, 1 rel, 2 byte budget, 3 plane set
+//!   kind 0/1: f64 LE bound
+//!   kind 2:   u64 LE budget
+//!   kind 3:   u16 count || count x u32 LE planes
+//! u8  strategy                 0 = theory (greedy over sound estimates)
+//! u8  flags                    bit 0: omit plane frames (report only)
+//! ```
+//!
+//! Report layout: `'R'`, `u8` status, `u16 || u32...` achieved planes,
+//! `f64` estimated (achieved) bound, `u64` payload bytes, `u8` degraded
+//! flag with `u16 || (u16,u32)...` lost segments, four `u64` counters
+//! (attempts, retries, cache hits, coalesced waits), and a `u16 || utf8`
+//! detail string.
+
+use pmr_error::PmrError;
+use std::io::{Read, Write};
+
+/// Hard ceiling on a single frame, request or response.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request magic: protocol version 1.
+pub const REQ_MAGIC: [u8; 4] = *b"PRQ1";
+
+/// Flag bit: the client wants the report only, no plane frames.
+pub const FLAG_NO_PLANES: u8 = 1;
+
+/// Outcome of a request, carried in the report frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Planes streamed and the reported bound holds.
+    Ok = 0,
+    /// Admission control rejected the request; retry later.
+    Busy = 1,
+    /// The daemon serves no dataset by that name.
+    NotFound = 2,
+    /// The request frame did not parse or asked something invalid.
+    Malformed = 3,
+    /// The retrieval itself failed (storage error, bad strategy, ...).
+    Failed = 4,
+}
+
+impl Status {
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Busy),
+            2 => Some(Status::NotFound),
+            3 => Some(Status::Malformed),
+            4 => Some(Status::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// What the client asks for — mirrors `pmr_core::api::RetrievalTarget`
+/// plus the relative-bound spelling resolved server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Absolute `L∞` bound.
+    Abs(f64),
+    /// Bound relative to the artifact's value range.
+    Rel(f64),
+    /// Byte budget: best bound the bytes can buy.
+    Bytes(u64),
+    /// Explicit per-level plane counts.
+    Planes(Vec<u32>),
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Tenant name for admission control and quota accounting.
+    pub tenant: String,
+    /// Dataset name in the daemon's corpus.
+    pub dataset: String,
+    /// What to retrieve.
+    pub target: Target,
+    /// Strategy selector; `0` = theory planner (the only one a corpus
+    /// without trained models can serve).
+    pub strategy: u8,
+    /// See [`FLAG_NO_PLANES`].
+    pub flags: u8,
+}
+
+/// The achieved-bound report terminating every response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    pub status: Status,
+    /// Per-level plane counts actually served.
+    pub planes: Vec<u32>,
+    /// Sound theory estimate at the served planes — the bound the
+    /// reconstruction is guaranteed to satisfy.
+    pub estimated_error: f64,
+    /// Compressed payload bytes of the served planes.
+    pub bytes: u64,
+    /// Segments given up as unrecoverable (empty when healthy).
+    pub lost: Vec<(usize, u32)>,
+    /// Fetch attempts issued against the backing store.
+    pub attempts: u64,
+    /// Attempts beyond the first per segment.
+    pub retries: u64,
+    /// Planes served straight from the shared cache.
+    pub cache_hits: u64,
+    /// Planes obtained by waiting on another request's in-flight fetch.
+    pub coalesced: u64,
+    /// Human-readable detail (error text for non-`Ok` statuses).
+    pub detail: String,
+}
+
+impl Report {
+    /// A rejection/error report with empty accounting.
+    pub fn error(status: Status, detail: impl Into<String>) -> Self {
+        Report {
+            status,
+            planes: Vec::new(),
+            estimated_error: f64::INFINITY,
+            bytes: 0,
+            lost: Vec::new(),
+            attempts: 0,
+            retries: 0,
+            cache_hits: 0,
+            coalesced: 0,
+            detail: detail.into(),
+        }
+    }
+
+    /// Did the retrieval lose segments?
+    pub fn is_degraded(&self) -> bool {
+        !self.lost.is_empty()
+    }
+}
+
+/// One plane frame: the payload of `(level, plane)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneFrame {
+    pub level: usize,
+    pub plane: u32,
+    pub payload: Vec<u8>,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    Plane(PlaneFrame),
+    Report(Report),
+}
+
+fn proto_err(detail: impl Into<String>) -> PmrError {
+    PmrError::malformed("pmrd frame", detail)
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), PmrError> {
+    let len = u16::try_from(s.len())
+        .map_err(|_| proto_err(format!("string of {} bytes exceeds u16 length", s.len())))?;
+    put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Sequential reader over a frame payload with bounds-checked reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PmrError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| proto_err("frame truncated"))?;
+        let s = self.buf.get(self.pos..end).ok_or_else(|| proto_err("frame truncated"))?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PmrError> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
+    }
+
+    fn u16(&mut self) -> Result<u16, PmrError> {
+        let b = self.take(2)?;
+        let mut a = [0u8; 2];
+        a.copy_from_slice(b);
+        Ok(u16::from_le_bytes(a))
+    }
+
+    fn u32(&mut self) -> Result<u32, PmrError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, PmrError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, PmrError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn read_string(&mut self) -> Result<String, PmrError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| proto_err("string is not utf-8"))
+    }
+
+    fn done(&self) -> Result<(), PmrError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(proto_err(format!("{} trailing bytes after frame body", self.buf.len() - self.pos)))
+        }
+    }
+}
+
+/// Serialise a request into a frame payload.
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, PmrError> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&REQ_MAGIC);
+    put_str(&mut out, &req.tenant)?;
+    put_str(&mut out, &req.dataset)?;
+    match &req.target {
+        Target::Abs(e) => {
+            out.push(0);
+            put_f64(&mut out, *e);
+        }
+        Target::Rel(r) => {
+            out.push(1);
+            put_f64(&mut out, *r);
+        }
+        Target::Bytes(b) => {
+            out.push(2);
+            put_u64(&mut out, *b);
+        }
+        Target::Planes(planes) => {
+            out.push(3);
+            let n = u16::try_from(planes.len())
+                .map_err(|_| proto_err("plane set exceeds u16 length"))?;
+            put_u16(&mut out, n);
+            for &p in planes {
+                put_u32(&mut out, p);
+            }
+        }
+    }
+    out.push(req.strategy);
+    out.push(req.flags);
+    Ok(out)
+}
+
+/// Parse a request frame payload.
+pub fn decode_request(buf: &[u8]) -> Result<Request, PmrError> {
+    let mut r = Reader::new(buf);
+    if r.take(4)? != REQ_MAGIC {
+        return Err(proto_err("bad request magic (want PRQ1)"));
+    }
+    let tenant = r.read_string()?;
+    let dataset = r.read_string()?;
+    let target = match r.u8()? {
+        0 => Target::Abs(r.f64()?),
+        1 => Target::Rel(r.f64()?),
+        2 => Target::Bytes(r.u64()?),
+        3 => {
+            let n = r.u16()? as usize;
+            let mut planes = Vec::with_capacity(n);
+            for _ in 0..n {
+                planes.push(r.u32()?);
+            }
+            Target::Planes(planes)
+        }
+        k => return Err(proto_err(format!("unknown target kind {k}"))),
+    };
+    let strategy = r.u8()?;
+    let flags = r.u8()?;
+    r.done()?;
+    Ok(Request { tenant, dataset, target, strategy, flags })
+}
+
+/// Serialise a plane frame payload.
+pub fn encode_plane(level: usize, plane: u32, payload: &[u8]) -> Result<Vec<u8>, PmrError> {
+    let lvl = u16::try_from(level).map_err(|_| proto_err("level exceeds u16"))?;
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.push(b'P');
+    put_u16(&mut out, lvl);
+    put_u32(&mut out, plane);
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Serialise a report frame payload.
+pub fn encode_report(rep: &Report) -> Result<Vec<u8>, PmrError> {
+    let mut out = Vec::with_capacity(64 + rep.detail.len());
+    out.push(b'R');
+    out.push(rep.status as u8);
+    let n = u16::try_from(rep.planes.len()).map_err(|_| proto_err("planes exceed u16 length"))?;
+    put_u16(&mut out, n);
+    for &p in &rep.planes {
+        put_u32(&mut out, p);
+    }
+    put_f64(&mut out, rep.estimated_error);
+    put_u64(&mut out, rep.bytes);
+    out.push(u8::from(!rep.lost.is_empty()));
+    let nl = u16::try_from(rep.lost.len()).map_err(|_| proto_err("lost list exceeds u16"))?;
+    put_u16(&mut out, nl);
+    for &(l, k) in &rep.lost {
+        let lvl = u16::try_from(l).map_err(|_| proto_err("lost level exceeds u16"))?;
+        put_u16(&mut out, lvl);
+        put_u32(&mut out, k);
+    }
+    put_u64(&mut out, rep.attempts);
+    put_u64(&mut out, rep.retries);
+    put_u64(&mut out, rep.cache_hits);
+    put_u64(&mut out, rep.coalesced);
+    put_str(&mut out, &rep.detail)?;
+    Ok(out)
+}
+
+/// Parse one response frame payload (plane or report).
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, PmrError> {
+    let mut r = Reader::new(buf);
+    match r.u8()? {
+        b'P' => {
+            let level = r.u16()? as usize;
+            let plane = r.u32()?;
+            let payload = r.take(buf.len() - r.pos)?.to_vec();
+            Ok(Frame::Plane(PlaneFrame { level, plane, payload }))
+        }
+        b'R' => {
+            let status = Status::from_u8(r.u8()?)
+                .ok_or_else(|| proto_err("unknown status byte in report"))?;
+            let n = r.u16()? as usize;
+            let mut planes = Vec::with_capacity(n);
+            for _ in 0..n {
+                planes.push(r.u32()?);
+            }
+            let estimated_error = r.f64()?;
+            let bytes = r.u64()?;
+            let _degraded_flag = r.u8()?;
+            let nl = r.u16()? as usize;
+            let mut lost = Vec::with_capacity(nl);
+            for _ in 0..nl {
+                let l = r.u16()? as usize;
+                let k = r.u32()?;
+                lost.push((l, k));
+            }
+            let attempts = r.u64()?;
+            let retries = r.u64()?;
+            let cache_hits = r.u64()?;
+            let coalesced = r.u64()?;
+            let detail = r.read_string()?;
+            r.done()?;
+            Ok(Frame::Report(Report {
+                status,
+                planes,
+                estimated_error,
+                bytes,
+                lost,
+                attempts,
+                retries,
+                cache_hits,
+                coalesced,
+                detail,
+            }))
+        }
+        t => Err(proto_err(format!("unknown response frame tag {t:#04x}"))),
+    }
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one length-prefixed frame. `Ok(None)` means clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut hdr = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut hdr[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_all_target_kinds() {
+        let targets = [
+            Target::Abs(1.5e-3),
+            Target::Rel(1e-4),
+            Target::Bytes(123_456),
+            Target::Planes(vec![4, 9, 0, 31]),
+        ];
+        for target in targets {
+            let req = Request {
+                tenant: "jet".into(),
+                dataset: "Jx_t0004".into(),
+                target,
+                strategy: 0,
+                flags: FLAG_NO_PLANES,
+            };
+            let bytes = encode_request(&req).expect("encode");
+            assert_eq!(decode_request(&bytes).expect("decode"), req);
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_degraded_and_clean() {
+        let clean = Report {
+            status: Status::Ok,
+            planes: vec![10, 7, 3],
+            estimated_error: 3.25e-4,
+            bytes: 9001,
+            lost: Vec::new(),
+            attempts: 20,
+            retries: 2,
+            cache_hits: 5,
+            coalesced: 1,
+            detail: String::new(),
+        };
+        let degraded =
+            Report { lost: vec![(0, 3), (2, 0)], detail: "lost two".into(), ..clean.clone() };
+        for rep in [clean, degraded] {
+            let bytes = encode_report(&rep).expect("encode");
+            match decode_frame(&bytes).expect("decode") {
+                Frame::Report(back) => assert_eq!(back, rep),
+                Frame::Plane(_) => panic!("report decoded as plane"),
+            }
+        }
+    }
+
+    #[test]
+    fn plane_frame_roundtrips() {
+        let bytes = encode_plane(3, 17, &[1, 2, 3, 250]).expect("encode");
+        match decode_frame(&bytes).expect("decode") {
+            Frame::Plane(p) => {
+                assert_eq!((p.level, p.plane), (3, 17));
+                assert_eq!(p.payload, vec![1, 2, 3, 250]);
+            }
+            Frame::Report(_) => panic!("plane decoded as report"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        assert!(decode_request(b"").is_err());
+        assert!(decode_request(b"NOPE").is_err());
+        assert!(decode_request(&REQ_MAGIC).is_err()); // truncated after magic
+        let mut ok = encode_request(&Request {
+            tenant: "t".into(),
+            dataset: "d".into(),
+            target: Target::Abs(0.1),
+            strategy: 0,
+            flags: 0,
+        })
+        .expect("encode");
+        ok.push(0xFF); // trailing garbage
+        assert!(decode_request(&ok).is_err());
+        assert!(decode_frame(&[0x5A, 1, 2]).is_err()); // unknown tag
+    }
+
+    #[test]
+    fn framing_roundtrips_and_rejects_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).expect("frame 1"), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut cursor).expect("frame 2"), Some(Vec::new()));
+        assert_eq!(read_frame(&mut cursor).expect("eof"), None);
+
+        // A header claiming more than MAX_FRAME must be refused up front.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,511 @@
+//! The daemon: a thread-pool reactor serving retrieval requests over
+//! TCP or a unix socket.
+//!
+//! One acceptor thread hands connections to a fixed pool of workers over
+//! an mpsc channel; each worker runs the per-connection request loop
+//! (connections are persistent — a client may issue many requests).
+//! Request handling is the library's tolerant fetch loop with two
+//! daemon-level additions: every plane fetch is routed through the
+//! shared single-flight [`PlaneCache`], and admission control caps
+//! in-flight retrievals globally and per tenant, answering `Busy`
+//! instead of queueing invisibly.
+
+use crate::admission::{Admission, AdmissionConfig, Permit};
+use crate::cache::{Origin, PlaneCache};
+use crate::corpus::{Corpus, CorpusEntry};
+use crate::protocol::{self, Report, Request, Status, Target, FLAG_NO_PLANES};
+use pmr_core::api::{plan_for_target, RetrievalTarget, Tolerance};
+use pmr_core::Theory;
+use pmr_storage::{ExpectedSegment, FetchExecutor, TolerantConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use pmr_mgard::greedy_plan_capped;
+
+/// Daemon knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Connection-serving worker threads. A worker holds one connection
+    /// until the client closes it, so size this to at least the number of
+    /// concurrent client connections — fewer workers than connections means
+    /// the excess connections queue unserved behind the held ones.
+    pub workers: usize,
+    /// Shared plane cache capacity, in payload bytes.
+    pub cache_bytes: u64,
+    /// Admission caps (global and per tenant).
+    pub admission: AdmissionConfig,
+    /// Fault-tolerance knobs for the fetch path.
+    pub tolerant: TolerantConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 8,
+            cache_bytes: 64 << 20,
+            admission: AdmissionConfig::default(),
+            tolerant: TolerantConfig::default(),
+        }
+    }
+}
+
+/// The daemon state shared by every worker.
+pub struct Daemon {
+    corpus: Corpus,
+    cache: PlaneCache,
+    admission: Admission,
+    cfg: DaemonConfig,
+}
+
+/// Planes served for one request, by `(level, plane, payload)`.
+/// Payloads are shared with the cache — streaming a hot plane to many
+/// clients never copies it.
+pub type ServedPlanes = Vec<(usize, u32, Arc<Vec<u8>>)>;
+
+fn held<T>(payloads: &[T]) -> u32 {
+    u32::try_from(payloads.len()).unwrap_or(u32::MAX)
+}
+
+impl Daemon {
+    /// Build a daemon over `corpus`.
+    pub fn new(corpus: Corpus, cfg: DaemonConfig) -> Arc<Daemon> {
+        Arc::new(Daemon {
+            corpus,
+            cache: PlaneCache::new(cfg.cache_bytes),
+            admission: Admission::new(cfg.admission),
+            cfg,
+        })
+    }
+
+    /// The shared cache (counters are exposed for tests and ops).
+    pub fn cache(&self) -> &PlaneCache {
+        &self.cache
+    }
+
+    /// Admission state (rejection counter, in-flight gauge).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The served corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Handle one parsed request. Public so in-process tests can exercise
+    /// the exact server path without sockets.
+    pub fn handle_request(&self, req: &Request) -> (ServedPlanes, Report) {
+        if req.strategy != 0 {
+            let rep = Report::error(
+                Status::Failed,
+                format!(
+                    "strategy {} not available (corpus serves theory plans only)",
+                    req.strategy
+                ),
+            );
+            return (Vec::new(), rep);
+        }
+        let Some(entry) = self.corpus.get(&req.dataset) else {
+            let rep = Report::error(
+                Status::NotFound,
+                format!("no dataset {:?} in corpus of {}", req.dataset, self.corpus.len()),
+            );
+            return (Vec::new(), rep);
+        };
+        let Some(permit) = self.admission.try_acquire(&req.tenant) else {
+            let rep = Report::error(
+                Status::Busy,
+                format!("tenant {:?} over admission cap; retry later", req.tenant),
+            );
+            return (Vec::new(), rep);
+        };
+        self.serve_admitted(entry, &req.target, permit)
+    }
+
+    fn serve_admitted(
+        &self,
+        entry: &CorpusEntry,
+        target: &Target,
+        _permit: Permit,
+    ) -> (ServedPlanes, Report) {
+        let manifest = &entry.manifest;
+        let api_target = match target {
+            Target::Abs(e) => RetrievalTarget::Tolerance(Tolerance::Abs(*e)),
+            Target::Rel(r) => RetrievalTarget::Tolerance(Tolerance::Rel(*r)),
+            Target::Bytes(b) => RetrievalTarget::ByteBudget(*b),
+            Target::Planes(p) => RetrievalTarget::PlaneSet(p.clone()),
+        };
+        let plan = match plan_for_target(manifest, &Theory, &[], &api_target) {
+            Ok(plan) => plan,
+            Err(e) => return (Vec::new(), Report::error(Status::Malformed, e.to_string())),
+        };
+        // The bound the degraded re-plan chases: the tolerance when the
+        // target is one, otherwise the plan's own sound estimate.
+        let bound = match &api_target {
+            RetrievalTarget::Tolerance(tol) => match tol.absolute(manifest) {
+                Ok(b) => b,
+                Err(e) => return (Vec::new(), Report::error(Status::Malformed, e.to_string())),
+            },
+            _ => manifest.estimate_for(&plan.planes),
+        };
+
+        // The tolerant fetch loop (mirrors `fetch_plan_tolerant`), with
+        // every plane routed through the shared single-flight cache. The
+        // executor is per-request: retries and attempts are accounted to
+        // the request that ran them.
+        let mut exec = FetchExecutor::new(entry.store.as_ref(), self.cfg.tolerant.policy.clone());
+        let levels = manifest.levels();
+        let nl = levels.len();
+        let mut payloads: Vec<Vec<Arc<Vec<u8>>>> = vec![Vec::new(); nl];
+        let mut caps: Vec<u32> = levels.iter().map(|l| l.num_planes()).collect();
+        let mut target_planes = plan.planes.clone();
+        let mut lost: Vec<(usize, u32)> = Vec::new();
+        let mut cache_hits = 0u64;
+        let mut coalesced = 0u64;
+
+        for round in 0..=self.cfg.tolerant.max_replan_rounds {
+            for (l, lvl) in levels.iter().enumerate() {
+                while held(&payloads[l]) < target_planes[l].min(caps[l]) {
+                    let k = held(&payloads[l]);
+                    let key = (entry.id, l, k);
+                    let fetched = self.cache.get_or_fetch(key, || {
+                        exec.fetch_verified((l, k), ExpectedSegment::of(lvl.plane_payload(k)))
+                    });
+                    match fetched {
+                        Ok((data, origin)) => {
+                            match origin {
+                                Origin::Hit => cache_hits += 1,
+                                Origin::Coalesced => coalesced += 1,
+                                Origin::Fetched => {}
+                            }
+                            payloads[l].push(data);
+                        }
+                        Err(_) => {
+                            // Unrecoverable even after retries: truncate
+                            // this level's prefix here.
+                            lost.push((l, k));
+                            caps[l] = k;
+                            break;
+                        }
+                    }
+                }
+            }
+            let any_capped_below_target = target_planes.iter().zip(&caps).any(|(&t, &c)| c < t);
+            if !any_capped_below_target
+                || !self.cfg.tolerant.replan
+                || round == self.cfg.tolerant.max_replan_rounds
+            {
+                break;
+            }
+            let floor: Vec<u32> = payloads.iter().map(|p| held(p)).collect();
+            let next =
+                greedy_plan_capped(levels, manifest.theory_constants(), bound, &floor, &caps);
+            if next.planes == floor {
+                break;
+            }
+            target_planes = next.planes;
+        }
+
+        let achieved: Vec<u32> = payloads.iter().map(|p| held(p)).collect();
+        let estimated_error = manifest.estimate_for(&achieved);
+        let bytes: u64 = levels
+            .iter()
+            .zip(&achieved)
+            .map(|(lvl, &n)| (0..n).map(|k| lvl.plane_size(k)).sum::<u64>())
+            .sum();
+        let stats = exec.stats();
+        let report = Report {
+            status: Status::Ok,
+            planes: achieved,
+            estimated_error,
+            bytes,
+            lost,
+            attempts: stats.attempts,
+            retries: stats.retries,
+            cache_hits,
+            coalesced,
+            detail: String::new(),
+        };
+        let mut served: ServedPlanes = Vec::new();
+        for (l, level_payloads) in payloads.into_iter().enumerate() {
+            for (k, data) in level_payloads.into_iter().enumerate() {
+                served.push((l, u32::try_from(k).unwrap_or(u32::MAX), data));
+            }
+        }
+        (served, report)
+    }
+
+    /// Serve one connection until the peer closes it (or a protocol /
+    /// transport error makes the stream unusable).
+    fn serve_connection(&self, stream: &mut PmrdStream) {
+        loop {
+            let frame = match protocol::read_frame(stream) {
+                Ok(Some(frame)) => frame,
+                Ok(None) | Err(_) => return, // clean EOF or dead transport
+            };
+            let response = match protocol::decode_request(&frame) {
+                Ok(req) => {
+                    let (planes, report) = self.handle_request(&req);
+                    let send_planes = req.flags & FLAG_NO_PLANES == 0;
+                    (if send_planes { planes } else { Vec::new() }, report)
+                }
+                Err(e) => (Vec::new(), Report::error(Status::Malformed, e.to_string())),
+            };
+            let (planes, report) = response;
+            for (l, k, data) in &planes {
+                let Ok(payload) = protocol::encode_plane(*l, *k, data) else { return };
+                if protocol::write_frame(stream, &payload).is_err() {
+                    return;
+                }
+            }
+            let Ok(payload) = protocol::encode_report(&report) else { return };
+            if protocol::write_frame(stream, &payload).is_err() {
+                return;
+            }
+            if stream.flush().is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Bind a TCP listener (use port 0 for an ephemeral port) and serve in
+    /// background threads until [`DaemonHandle::stop`].
+    pub fn spawn_tcp(self: &Arc<Self>, addr: &str) -> std::io::Result<DaemonHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        self.spawn_on(Listener::Tcp(listener), Endpoint::Tcp(local))
+    }
+
+    /// Bind a unix socket listener (the path must not exist) and serve in
+    /// background threads until [`DaemonHandle::stop`].
+    #[cfg(unix)]
+    pub fn spawn_unix(self: &Arc<Self>, path: impl Into<PathBuf>) -> std::io::Result<DaemonHandle> {
+        let path = path.into();
+        let listener = UnixListener::bind(&path)?;
+        self.spawn_on(Listener::Unix(listener), Endpoint::Unix(path))
+    }
+
+    fn spawn_on(
+        self: &Arc<Self>,
+        listener: Listener,
+        endpoint: Endpoint,
+    ) -> std::io::Result<DaemonHandle> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: ConnRegistry = Arc::new(Mutex::new(std::collections::BTreeMap::new()));
+        let next_conn = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel::<PmrdStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.cfg.workers.max(1));
+        for _ in 0..self.cfg.workers.max(1) {
+            let daemon = Arc::clone(self);
+            let rx = Arc::clone(&rx);
+            let conns = Arc::clone(&conns);
+            let next_conn = Arc::clone(&next_conn);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(std::thread::spawn(move || loop {
+                let next = {
+                    let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                    guard.recv()
+                };
+                match next {
+                    Ok(mut stream) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            continue; // draining: refuse late connections
+                        }
+                        // Register a shutdown handle so `stop()` can cut a
+                        // persistent connection out from under a blocked
+                        // read; re-check the flag afterwards to close the
+                        // race with a concurrent sweep.
+                        let id = next_conn.fetch_add(1, Ordering::SeqCst);
+                        if let Ok(handle) = stream.try_clone_handle() {
+                            conns.lock().unwrap_or_else(PoisonError::into_inner).insert(id, handle);
+                            if shutdown.load(Ordering::SeqCst) {
+                                stream.shutdown_both();
+                            }
+                        }
+                        daemon.serve_connection(&mut stream);
+                        conns.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+                    }
+                    Err(_) => return, // acceptor gone: drain complete
+                }
+            }));
+        }
+        let accept_shutdown = Arc::clone(&shutdown);
+        let acceptor = std::thread::spawn(move || {
+            loop {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        if accept_shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Dropping `tx` lets the workers drain and exit.
+        });
+        Ok(DaemonHandle { endpoint, shutdown, conns, acceptor: Some(acceptor), workers })
+    }
+}
+
+/// Shutdown handles for connections currently being served.
+type ConnRegistry = Arc<Mutex<std::collections::BTreeMap<u64, PmrdStream>>>;
+
+/// Where a spawned daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    Tcp(SocketAddr),
+    Unix(PathBuf),
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<PmrdStream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| PmrdStream::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| PmrdStream::Unix(s)),
+        }
+    }
+}
+
+/// A connected byte stream, TCP or unix.
+pub enum PmrdStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl PmrdStream {
+    /// A second handle to the same OS socket (for out-of-band shutdown).
+    fn try_clone_handle(&self) -> std::io::Result<PmrdStream> {
+        match self {
+            PmrdStream::Tcp(s) => s.try_clone().map(PmrdStream::Tcp),
+            #[cfg(unix)]
+            PmrdStream::Unix(s) => s.try_clone().map(PmrdStream::Unix),
+        }
+    }
+
+    /// Shut the socket down in both directions, unblocking any thread
+    /// mid-read on another handle to it.
+    fn shutdown_both(&self) {
+        match self {
+            PmrdStream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            PmrdStream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for PmrdStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            PmrdStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            PmrdStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for PmrdStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            PmrdStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            PmrdStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            PmrdStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            PmrdStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Handle to a running daemon's listener and worker threads.
+pub struct DaemonHandle {
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnRegistry,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// Where the daemon is listening.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The TCP address, when TCP-bound.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.endpoint {
+            Endpoint::Tcp(a) => Some(*a),
+            Endpoint::Unix(_) => None,
+        }
+    }
+
+    /// Stop accepting, cut live connections, and join every thread.
+    /// Persistent clients see their connection close; an in-flight
+    /// request may still complete its current write.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Cut connections being served so blocked reads return. Workers
+        // that pick a queued connection up after this sweep see the flag
+        // and drop it unserved.
+        {
+            let conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+            for conn in conns.values() {
+                conn.shutdown_both();
+            }
+        }
+        // Unblock the acceptor with a throwaway connection.
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let _ = TcpStream::connect(addr);
+            }
+            Endpoint::Unix(path) => {
+                #[cfg(unix)]
+                {
+                    let _ = UnixStream::connect(path);
+                }
+                #[cfg(not(unix))]
+                let _ = path;
+            }
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

@@ -26,9 +26,9 @@ pub mod tolerant;
 pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind};
 pub use fetch::{ExpectedSegment, FetchExecutor, FetchStats, RetryPolicy};
 pub use segment::{FetchError, FileStore, MemStore, SegmentKey, SegmentRead, SegmentStore};
-pub use tolerant::{
-    fetch_plan_tolerant, retrieve_tolerant, DegradedRetrieval, TolerantConfig, TolerantRetrieval,
-};
+#[allow(deprecated)]
+pub use tolerant::retrieve_tolerant;
+pub use tolerant::{fetch_plan_tolerant, DegradedRetrieval, TolerantConfig, TolerantRetrieval};
 
 /// One storage tier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

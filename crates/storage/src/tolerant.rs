@@ -184,6 +184,11 @@ pub fn fetch_plan_tolerant(
 }
 
 /// Plan with the theory estimator at `abs_bound`, then execute tolerantly.
+#[deprecated(
+    since = "0.6.0",
+    note = "use pmr_core::api::retrieve with \
+    Backend::Store, or plan_theory + fetch_plan_tolerant directly"
+)]
 pub fn retrieve_tolerant(
     manifest: &Compressed,
     store: &dyn SegmentStore,
@@ -203,6 +208,18 @@ mod tests {
     use pmr_field::{error::max_abs_error, Shape};
     use pmr_mgard::CompressConfig;
 
+    /// The non-deprecated spelling of `retrieve_tolerant`, local to the
+    /// tests (the public one is a shim for the unified pmr-core API).
+    fn rt(
+        c: &Compressed,
+        store: &dyn SegmentStore,
+        abs_bound: f64,
+        cfg: &TolerantConfig,
+        model: Option<(&StorageHierarchy, &Placement)>,
+    ) -> Result<TolerantRetrieval, PmrError> {
+        fetch_plan_tolerant(c, store, &c.plan_theory(abs_bound), abs_bound, cfg, model)
+    }
+
     fn artifact() -> (Field, Compressed) {
         let field = Field::from_fn("t", 0, Shape::cube(9), |x, y, z| {
             ((x as f64) * 0.6).sin() + ((y as f64) * 0.4).cos() * 0.5 + (z as f64) * 0.02
@@ -216,7 +233,7 @@ mod tests {
         let (field, c) = artifact();
         let store = MemStore::from_compressed(&c);
         let bound = c.absolute_bound(1e-4);
-        let out = retrieve_tolerant(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
+        let out = rt(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
         assert!(!out.is_degraded());
         let direct = c.retrieve(&c.plan_theory(bound));
         assert_eq!(out.field.data(), direct.data());
@@ -234,7 +251,7 @@ mod tests {
             policy: RetryPolicy { max_attempts: 64, ..RetryPolicy::default() },
             ..TolerantConfig::default()
         };
-        let out = retrieve_tolerant(&c, &inj, bound, &tc, None).unwrap();
+        let out = rt(&c, &inj, bound, &tc, None).unwrap();
         assert!(!out.is_degraded(), "retryable faults must not degrade the result");
         assert!(out.stats.retries > 0, "the schedule should have forced retries");
         assert!(max_abs_error(field.data(), out.field.data()) <= bound);
@@ -251,7 +268,7 @@ mod tests {
         let dead = (l, plan.planes[l].saturating_sub(2).max(1));
         let store = MemStore::from_compressed(&c).without(&[dead]);
         let tc = TolerantConfig { replan: false, ..TolerantConfig::default() };
-        let out = retrieve_tolerant(&c, &store, bound, &tc, None).unwrap();
+        let out = rt(&c, &store, bound, &tc, None).unwrap();
         let report = out.degraded.as_ref().expect("loss must produce a degraded report");
         assert_eq!(report.lost_segments, vec![dead]);
         assert_eq!(report.achieved_planes[l], dead.1, "prefix truncated at the loss");
@@ -277,7 +294,7 @@ mod tests {
         assert!(plan.planes[0] > 2, "plan must lean on level 0 for this bound");
         let dead = (0usize, 1u32);
         let store = MemStore::from_compressed(&c).without(&[dead]);
-        let out = retrieve_tolerant(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
+        let out = rt(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
         let report = out.degraded.as_ref().expect("loss must be reported");
         assert!(report.replanned, "default config should re-plan");
         // Compensation fetched deeper planes at some surviving level.
@@ -299,7 +316,7 @@ mod tests {
         // Plane 0 of the finest level missing: that level contributes nothing.
         let l = c.num_levels() - 1;
         let store = MemStore::from_compressed(&c).without(&[(l, 0)]);
-        let out = retrieve_tolerant(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
+        let out = rt(&c, &store, bound, &TolerantConfig::default(), None).unwrap();
         let report = out.degraded.as_ref().unwrap();
         assert_eq!(report.achieved_planes[l], 0);
         let measured = max_abs_error(field.data(), out.field.data());
@@ -328,7 +345,7 @@ mod tests {
                 ..FaultConfig::quiet(seed)
             };
             let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).unwrap();
-            let out = retrieve_tolerant(&c, &inj, bound, &TolerantConfig::default(), None).unwrap();
+            let out = rt(&c, &inj, bound, &TolerantConfig::default(), None).unwrap();
             (out.planes.clone(), out.degraded.clone(), out.stats.clone(), inj.log())
         };
         let a = run(1234);
@@ -346,14 +363,8 @@ mod tests {
         let p = Placement::coarse_fast(c.num_levels(), &h);
         let cfg = FaultConfig { transient: 0.3, ..FaultConfig::quiet(5) };
         let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).unwrap();
-        let out = retrieve_tolerant(
-            &c,
-            &inj,
-            c.absolute_bound(1e-4),
-            &TolerantConfig::default(),
-            Some((&h, &p)),
-        )
-        .unwrap();
+        let out = rt(&c, &inj, c.absolute_bound(1e-4), &TolerantConfig::default(), Some((&h, &p)))
+            .unwrap();
         assert!(out.stats.virtual_time_s > 0.0);
     }
 }

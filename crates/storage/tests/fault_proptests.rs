@@ -5,13 +5,26 @@
 //! (the requested bound when clean, the honest achievable bound when
 //! degraded). Determinism rides along: one seed, one outcome.
 
+use pmr_error::PmrError;
 use pmr_field::{error::max_abs_error, Field, Shape};
 use pmr_mgard::{CompressConfig, Compressed};
 use pmr_storage::{
-    retrieve_tolerant, FaultConfig, FaultInjector, MemStore, Placement, RetryPolicy,
-    StorageHierarchy, TolerantConfig,
+    fetch_plan_tolerant, FaultConfig, FaultInjector, MemStore, Placement, RetryPolicy,
+    SegmentStore, StorageHierarchy, TolerantConfig, TolerantRetrieval,
 };
 use proptest::prelude::*;
+
+/// The non-deprecated spelling of `retrieve_tolerant` (the public one is a
+/// shim for the unified pmr-core API).
+fn retrieve_theory_tolerant(
+    c: &Compressed,
+    store: &dyn SegmentStore,
+    abs_bound: f64,
+    cfg: &TolerantConfig,
+    model: Option<(&StorageHierarchy, &Placement)>,
+) -> Result<TolerantRetrieval, PmrError> {
+    fetch_plan_tolerant(c, store, &c.plan_theory(abs_bound), abs_bound, cfg, model)
+}
 
 fn sample(seed: u64) -> (Field, Compressed) {
     let field = Field::from_fn("fp", 0, Shape::cube(9), move |x, y, z| {
@@ -69,7 +82,7 @@ proptest! {
         let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).expect("valid config");
         let tc = TolerantConfig { replan, ..TolerantConfig::default() };
         let bound = c.absolute_bound(rel_bound);
-        let out = retrieve_tolerant(&c, &inj, bound, &tc, None).expect("must not fail hard");
+        let out = retrieve_theory_tolerant(&c, &inj, bound, &tc, None).expect("must not fail hard");
 
         let measured = max_abs_error(field.data(), out.field.data());
         match &out.degraded {
@@ -112,7 +125,7 @@ proptest! {
         let run = || {
             let cfg = fault_config(fault_seed, permanent, transient, 0.0, 0.0, bit_flip, 0.0);
             let inj = FaultInjector::new(MemStore::from_compressed(&c), cfg).unwrap();
-            let out = retrieve_tolerant(&c, &inj, bound, &TolerantConfig::default(), None).unwrap();
+            let out = retrieve_theory_tolerant(&c, &inj, bound, &TolerantConfig::default(), None).unwrap();
             (out.planes.clone(), out.degraded.clone(), out.stats.clone(), inj.log())
         };
         let a = run();
@@ -141,7 +154,7 @@ proptest! {
             policy: RetryPolicy { max_attempts, ..RetryPolicy::default() },
             ..TolerantConfig::default()
         };
-        let out = retrieve_tolerant(&c, &inj, c.absolute_bound(1e-3), &tc, Some((&h, &p)))
+        let out = retrieve_theory_tolerant(&c, &inj, c.absolute_bound(1e-3), &tc, Some((&h, &p)))
             .expect("modelled run must not fail hard");
         prop_assert!(out.stats.virtual_time_s.is_finite());
         prop_assert!(out.stats.virtual_time_s >= 0.0);

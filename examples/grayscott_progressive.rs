@@ -7,8 +7,8 @@
 //! cargo run --release --example grayscott_progressive
 //! ```
 
-use pmr::field::error::{max_abs_error, psnr};
-use pmr::mgard::{CompressConfig, Compressed, RetrievalPlan};
+use pmr::core::{retrieve, Backend, Dataset, RetrievalRequest, Theory};
+use pmr::mgard::{CompressConfig, Compressed};
 use pmr::sim::{GrayScott, GrayScottConfig};
 
 fn main() {
@@ -27,15 +27,18 @@ fn main() {
     let total = compressed.total_bytes();
     println!("\ncompressed D_v snapshot: {} bytes, {} levels\n", total, compressed.num_levels());
 
-    // Progressive refinement: fetch k planes from every level, k = 0..B.
+    // Progressive refinement: fetch k planes from every level, k = 0..B,
+    // through the unified API's explicit plane-set target.
+    let dataset = Dataset::new(&compressed).with_original(&field);
     println!("{:>7}  {:>10}  {:>12}  {:>9}", "planes", "bytes", "max_error", "psnr_db");
     let mut prev_err = f64::INFINITY;
     for k in (0..=compressed.num_planes()).step_by(4) {
-        let plan = RetrievalPlan::from_planes(vec![k; compressed.num_levels()]);
-        let approx = compressed.retrieve(&plan);
-        let err = max_abs_error(field.data(), approx.data());
-        let p = psnr(field.data(), approx.data());
-        println!("{k:>7}  {:>10}  {err:>12.3e}  {p:>9.1}", compressed.retrieved_bytes(&plan));
+        let request = RetrievalRequest::plane_set(vec![k; compressed.num_levels()]).measured();
+        let out =
+            retrieve(&dataset, &Theory, &request, &Backend::Direct).expect("in-memory retrieval");
+        let err = out.achieved_error.expect("measured");
+        let p = out.psnr.expect("measured");
+        println!("{k:>7}  {:>10}  {err:>12.3e}  {p:>9.1}", out.bytes);
         assert!(err <= prev_err * 1.5 + 1e-12, "refinement should not regress");
         prev_err = err;
     }

@@ -5,7 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pmr::field::{error::max_abs_error, Field, Shape};
+use pmr::core::{retrieve, Backend, Dataset, RetrievalRequest, Theory};
+use pmr::field::{Field, Shape};
 use pmr::mgard::{CompressConfig, Compressed};
 
 fn main() {
@@ -37,16 +38,20 @@ fn main() {
         "{:>10}  {:>12}  {:>12}  {:>9}  {:>8}",
         "rel_bound", "requested", "achieved", "bytes", "% of raw"
     );
+    // One dataset handle serves every request; attaching the original
+    // field lets `measured()` report the achieved error alongside the bound.
+    let dataset = Dataset::new(&compressed).with_original(&field);
     for rel in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6] {
         let abs = compressed.absolute_bound(rel);
         // Plan with the built-in (theory-based) error control and fetch.
-        let plan = compressed.plan_theory(abs);
-        let approx = compressed.retrieve(&plan);
-        let err = max_abs_error(field.data(), approx.data());
-        let bytes = compressed.retrieved_bytes(&plan);
+        let request = RetrievalRequest::rel(rel).measured();
+        let out =
+            retrieve(&dataset, &Theory, &request, &Backend::Direct).expect("in-memory retrieval");
+        let err = out.achieved_error.expect("measured() fills the achieved error");
         println!(
-            "{rel:>10.0e}  {abs:>12.3e}  {err:>12.3e}  {bytes:>9}  {:>7.1}%",
-            bytes as f64 / raw_bytes as f64 * 100.0
+            "{rel:>10.0e}  {abs:>12.3e}  {err:>12.3e}  {:>9}  {:>7.1}%",
+            out.bytes,
+            out.bytes as f64 / raw_bytes as f64 * 100.0
         );
         assert!(err <= abs, "error bound must hold");
     }

@@ -5,7 +5,7 @@
 //! pmrtool gen grayscott <dir> [--size N] [--snapshots T] [--species u|v]
 //! pmrtool compress <in.pmrf> <out.pmrc> [--levels L] [--planes B] [--mode interp|l2]
 //!                  [--threads N]
-//! pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x>)
+//! pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x> | --budget <bytes>)
 //! pmrtool info <in.pmrc>
 //! pmrtool conformance [--grid quick|full] [--seed N] [--golden <dir>]
 //!                     [--regen-golden] [--golden-only] [--report <path>]
@@ -20,6 +20,7 @@
 use pmr::analyze::{self, AnalyzeConfig};
 use pmr::blockcodec::{persist as block_persist, BlockCompressed, BlockConfig};
 use pmr::conformance::{self, FaultGridConfig, SweepConfig};
+use pmr::core::{Backend, Dataset, RetrievalRequest, Theory};
 use pmr::field::io as field_io;
 use pmr::mgard::{persist, CompressConfig, Compressed, TransformMode};
 use pmr::sim::{warpx_field, GrayScott, GrayScottConfig, GsSpecies, WarpXConfig, WarpXField};
@@ -44,7 +45,7 @@ const USAGE: &str = "usage:
   pmrtool gen grayscott <dir> [--size N] [--snapshots T] [--species u|v]
   pmrtool compress <in.pmrf> <out.pmrc> [--levels L] [--planes B] [--mode interp|l2]
                    [--threads N] [--codec multilevel|block]
-  pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x>)
+  pmrtool retrieve <in.pmrc> <out.pmrf> (--rel <x> | --abs <x> | --budget <bytes>)
   pmrtool info <in.pmrc>
   pmrtool conformance [--grid quick|full] [--seed N] [--golden <dir>]
                       [--regen-golden] [--golden-only] [--report <path>]
@@ -235,19 +236,26 @@ fn retrieve(args: &[String]) -> Result<(), String> {
         return retrieve_block(args, input, output);
     }
     let compressed = persist::load(Path::new(input)).map_err(|e| e.to_string())?;
-    let abs = match (flag_value(args, "--rel")?, flag_value(args, "--abs")?) {
-        (Some(rel), None) => compressed.absolute_bound(parse(rel, "--rel")?),
-        (None, Some(abs)) => parse(abs, "--abs")?,
-        _ => return Err("exactly one of --rel or --abs is required".into()),
+    let request = match (
+        flag_value(args, "--rel")?,
+        flag_value(args, "--abs")?,
+        flag_value(args, "--budget")?,
+    ) {
+        (Some(rel), None, None) => RetrievalRequest::rel(parse(rel, "--rel")?),
+        (None, Some(abs), None) => RetrievalRequest::abs(parse(abs, "--abs")?),
+        (None, None, Some(bytes)) => RetrievalRequest::byte_budget(parse(bytes, "--budget")?),
+        _ => return Err("exactly one of --rel, --abs, or --budget is required".into()),
     };
-    let plan = compressed.plan_theory(abs);
-    let field = compressed.retrieve(&plan);
-    field_io::save(&field, Path::new(output)).map_err(|e| e.to_string())?;
+    let dataset = Dataset::new(&compressed);
+    let out = pmr::core::retrieve(&dataset, &Theory, &request, &Backend::Direct)
+        .map_err(|e| e.to_string())?;
+    field_io::save(&out.field, Path::new(output)).map_err(|e| e.to_string())?;
     println!(
-        "retrieved {} of {} bytes ({:.1}%) for abs bound {abs:.3e} -> {output}",
-        compressed.retrieved_bytes(&plan),
+        "retrieved {} of {} bytes ({:.1}%), estimated bound {:.3e} -> {output}",
+        out.bytes,
         compressed.total_bytes(),
-        compressed.retrieved_bytes(&plan) as f64 / compressed.total_bytes() as f64 * 100.0
+        out.bytes as f64 / compressed.total_bytes() as f64 * 100.0,
+        out.estimated_error
     );
     Ok(())
 }

@@ -2,8 +2,9 @@
 //! malformed inputs on the compress/retrieve/fetch paths must surface as
 //! `Err`, never as a panic inside library code.
 
+use pmr::core::{retrieve, Backend, Dataset, RetrievalRequest, Theory};
 use pmr::field::{io as field_io, Field, Shape};
-use pmr::mgard::{persist, CompressConfig, Compressed, RetrievalPlan};
+use pmr::mgard::{persist, CompressConfig, Compressed, DecodeOptions, RetrievalPlan};
 use pmr::storage::{
     ExpectedSegment, FetchError, FetchExecutor, MemStore, RetryPolicy, SegmentStore,
 };
@@ -43,11 +44,15 @@ fn mismatched_plan_is_an_error_not_a_panic() {
     // A plan for the wrong number of levels is a caller bug that must be
     // reported, not a panic mid-retrieval.
     let bad = RetrievalPlan { planes: vec![1; c.levels().len() + 2], estimated_error: 0.0 };
-    assert!(c.retrieve_measured(&bad, &field).is_err());
+    assert!(c.decode_plan(&bad, &DecodeOptions::default()).is_err());
+    let ds = Dataset::new(&c).with_original(&field);
+    let over = RetrievalRequest::plane_set(bad.planes.clone());
+    assert!(retrieve(&ds, &Theory, &over, &Backend::Direct).is_err());
     // A mismatched original (wrong shape) is equally an error.
-    let plan = c.plan_theory(c.absolute_bound(1e-2));
     let wrong = wave(5);
-    assert!(c.retrieve_measured(&plan, &wrong).is_err());
+    let ds = Dataset::new(&c).with_original(&wrong);
+    let req = RetrievalRequest::rel(1e-2).measured();
+    assert!(retrieve(&ds, &Theory, &req, &Backend::Direct).is_err());
 }
 
 #[test]

@@ -4,9 +4,10 @@
 
 use std::path::PathBuf;
 
+use pmr::core::{retrieve, Backend, Dataset, RetrievalRequest, Theory};
 use pmr::field::{error::max_abs_error, Field, Shape};
 use pmr::mgard::{persist, CompressConfig, Compressed};
-use pmr::storage::{retrieve_tolerant, FaultConfig, FaultInjector, FileStore, TolerantConfig};
+use pmr::storage::{FaultConfig, FaultInjector, FileStore, TolerantConfig};
 
 fn tempdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("pmr_fault_test_{tag}_{}", std::process::id()));
@@ -41,7 +42,9 @@ fn file_store_under_injected_faults_honours_reported_bound() {
         )
         .expect("valid config");
         let bound = c.absolute_bound(1e-3);
-        let out = retrieve_tolerant(&c, &inj, bound, &cfg, None).expect("no hard failure");
+        let req = RetrievalRequest::abs(bound).with_tolerant(cfg.clone());
+        let backend = Backend::Store { store: &inj, model: None };
+        let out = retrieve(&Dataset::new(&c), &Theory, &req, &backend).expect("no hard failure");
         let measured = max_abs_error(field.data(), out.field.data());
         match &out.degraded {
             None => assert!(measured <= bound, "seed {seed}: {measured:e} > {bound:e}"),
@@ -77,12 +80,14 @@ fn on_disk_corruption_is_caught_and_degrades_honestly() {
     bytes[last] ^= 0x40;
     std::fs::write(&victim, &bytes).unwrap();
 
-    let out = retrieve_tolerant(&c, &store, bound, &TolerantConfig::default(), None)
+    let backend = Backend::Store { store: &store, model: None };
+    let out = retrieve(&Dataset::new(&c), &Theory, &RetrievalRequest::abs(bound), &backend)
         .expect("corruption must degrade, not hard-fail");
     let deg = out.degraded.as_ref().expect("unrecoverable corruption degrades the retrieval");
     assert!(deg.lost_segments.contains(&(0, 1)), "lost: {:?}", deg.lost_segments);
     assert!(out.planes[0] <= 1, "level 0 prefix must stop before the corrupt plane");
-    assert!(out.stats.corruptions > 0, "checksum mismatches must be counted");
+    let stats = out.stats.as_ref().expect("store path records stats");
+    assert!(stats.corruptions > 0, "checksum mismatches must be counted");
     let measured = max_abs_error(field.data(), out.field.data());
     assert!(
         measured <= deg.achievable_bound,

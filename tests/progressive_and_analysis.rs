@@ -4,7 +4,7 @@
 use pmr::analysis;
 use pmr::blockcodec::{BlockCompressed, BlockConfig};
 use pmr::field::ops::downsample;
-use pmr::mgard::{CompressConfig, Compressed, ProgressiveSession, RetrievalPlan};
+use pmr::mgard::{CompressConfig, Compressed, DecodeOptions, ProgressiveSession, RetrievalPlan};
 use pmr::sim::{warpx_field, WarpXConfig, WarpXField};
 
 fn snapshot() -> pmr::field::Field {
@@ -42,7 +42,7 @@ fn coarse_retrieval_supports_cheap_analysis() {
     planes[1] = c.num_planes();
     let plan = RetrievalPlan::from_planes(planes);
     let target = 1usize;
-    let coarse = c.retrieve_at_level(&plan, target);
+    let coarse = c.decode_plan(&plan, &DecodeOptions::at_level(target)).expect("coarse plan");
     let stride = 1usize << (c.num_levels() - 1 - target);
     let reference = downsample(&field, stride);
     assert_eq!(coarse.shape(), reference.shape());
