@@ -9,7 +9,7 @@ use pmr_core::emgard::level_signature;
 use pmr_field::{Field, Shape};
 use pmr_mgard::{
     retrieve_many, CompressConfig, Compressed, DecodeOptions, Decomposer, ExecPolicy,
-    LevelEncoding, TransformMode,
+    LevelEncoding, PlaneKernel, TransformMode,
 };
 use pmr_nn::{Activation, Dataset, Matrix, Mlp, TrainConfig};
 use std::hint::black_box;
@@ -90,11 +90,24 @@ fn bench_bitplane(c: &mut Criterion) {
     dec.decompose(&mut data);
     let levels = dec.interleave(&data);
     let finest = levels.last().unwrap().clone();
-    c.bench_function("bitplane_encode_finest_level", |b| {
-        b.iter(|| LevelEncoding::encode(black_box(&finest), 32))
+    // Same unified policy API (and kernel names) as `codec_throughput` /
+    // `BENCH_codec.json`, so the per-level numbers here compose with the
+    // committed trajectory instead of measuring a different entry point.
+    let scalar = ExecPolicy::serial().with_kernel(PlaneKernel::Scalar);
+    let tiled = ExecPolicy::serial(); // kernel: Auto (SIMD or SWAR)
+    c.bench_function("bitplane_encode_finest_level_scalar", |b| {
+        b.iter(|| LevelEncoding::encode_with(black_box(&finest), 32, &scalar))
     });
-    let enc = LevelEncoding::encode(&finest, 32);
-    c.bench_function("bitplane_decode_16_planes", |b| b.iter(|| enc.decode(black_box(16))));
+    c.bench_function("bitplane_encode_finest_level_tiled", |b| {
+        b.iter(|| LevelEncoding::encode_with(black_box(&finest), 32, &tiled))
+    });
+    let enc = LevelEncoding::encode_with(&finest, 32, &tiled);
+    c.bench_function("bitplane_decode_16_planes_scalar", |b| {
+        b.iter(|| enc.decode_with(black_box(16), &scalar))
+    });
+    c.bench_function("bitplane_decode_16_planes_tiled", |b| {
+        b.iter(|| enc.decode_with(black_box(16), &tiled))
+    });
     c.bench_function("level_signature", |b| b.iter(|| level_signature(black_box(&finest))));
 }
 
@@ -152,6 +165,20 @@ fn bench_retrieval(c: &mut Criterion) {
     c.bench_function("greedy_plan_1e-5", |b| b.iter(|| compressed.plan_theory(black_box(abs))));
     let plan = compressed.plan_theory(abs);
     c.bench_function("retrieve_1e-5", |b| b.iter(|| compressed.retrieve(black_box(&plan))));
+    // The unified `pmr_core::retrieve` entry point, planning and decoding
+    // through the same request type the daemon and CLI use.
+    let dataset = pmr_core::Dataset::new(&compressed);
+    c.bench_function("retrieve_1e-5_unified", |b| {
+        b.iter(|| {
+            pmr_core::retrieve(
+                black_box(&dataset),
+                &pmr_core::Theory,
+                &pmr_core::RetrievalRequest::abs(abs).with_kernel(pmr_core::PlaneKernel::Auto),
+                &pmr_core::Backend::Direct,
+            )
+            .expect("direct retrieval succeeds")
+        })
+    });
 }
 
 fn bench_nn(c: &mut Criterion) {

@@ -216,6 +216,34 @@ mod tests {
     }
 
     #[test]
+    fn block_stream_is_kernel_invariant() {
+        // The embedded `LevelEncoding` now rides the tiled SIMD/SWAR
+        // kernels; the blocked coefficient stream (ragged: 9³ is not a
+        // multiple of the 64-lane tile) must stay bit-identical to the
+        // legacy scalar path, both on the wire and at every decode prefix.
+        use pmr_mgard::{ExecPolicy, PlaneKernel};
+        let field = wave(9);
+        let c = BlockCompressed::compress(&field, &BlockConfig::default());
+        let enc = c.encoding();
+        let scalar = ExecPolicy::serial().with_kernel(PlaneKernel::Scalar);
+        let coeffs = enc.decode_with(enc.num_planes(), &scalar);
+        // Re-encoding the (already quantized) stream through each kernel
+        // must agree byte-for-byte with the scalar oracle.
+        let oracle = pmr_mgard::LevelEncoding::encode_with(&coeffs, enc.num_planes(), &scalar);
+        for kernel in [PlaneKernel::Auto, PlaneKernel::Simd, PlaneKernel::Swar] {
+            let exec = ExecPolicy::serial().with_kernel(kernel);
+            let tiled = pmr_mgard::LevelEncoding::encode_with(&coeffs, enc.num_planes(), &exec);
+            assert_eq!(tiled.to_bytes().unwrap(), oracle.to_bytes().unwrap());
+            for b in [0, 7, 16, enc.num_planes()] {
+                let got: Vec<u64> = enc.decode_with(b, &exec).iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> =
+                    enc.decode_with(b, &scalar).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "kernel {kernel:?} diverged at prefix {b}");
+            }
+        }
+    }
+
+    #[test]
     fn truncation_error_decreases() {
         let field = wave(12);
         let c = BlockCompressed::compress(&field, &BlockConfig::default());

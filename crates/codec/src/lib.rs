@@ -11,13 +11,18 @@
 //!   bit-planes with ZSTD; ZSTD is outside our allowed dependency set, so we
 //!   substitute an escape-coded run-length codec which captures the same
 //!   sparsity profile (high planes of negabinary streams are almost all
-//!   zero bytes). See DESIGN.md §2.
+//!   zero bytes). See DESIGN.md §2,
+//! * [`transpose`] — cache-blocked 64×64 bit-matrix transpose kernels
+//!   (SWAR + runtime-detected AVX2/NEON) that turn per-bit plane slicing
+//!   into whole-word copies. See DESIGN.md §10.
 
 pub mod bitstream;
 pub mod lossless;
 pub mod negabinary;
 pub mod rle;
+pub mod transpose;
 
 pub use bitstream::{BitReader, BitWriter};
 pub use lossless::Lossless;
 pub use negabinary::{from_negabinary, to_negabinary, truncate_low_digits, NEGABINARY_MASK};
+pub use transpose::{PlaneKernel, TileImpl};

@@ -29,12 +29,22 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
     };
 
     while i < data.len() {
-        // Measure the run starting at i.
+        // Measure the run starting at i. Runs cap at 130, so the scan
+        // extends by 16-byte block compares (a pair of word compares after
+        // the optimizer is done) and finishes byte-wise in the block that
+        // breaks the run — same run lengths as the byte-at-a-time scan.
         let b = data[i];
-        let mut run = 1;
-        while i + run < data.len() && data[i + run] == b && run < 130 {
-            run += 1;
+        let rest = &data[i + 1..];
+        let limit = rest.len().min(129);
+        let pat = [b; 16];
+        let mut ext = 0;
+        while ext + 16 <= limit && rest[ext..ext + 16] == pat {
+            ext += 16;
         }
+        while ext < limit && rest[ext] == b {
+            ext += 1;
+        }
+        let run = 1 + ext;
         if run >= 3 {
             flush_literals(&mut out, lit_start, i, data);
             // `run <= 130` by the scan bound, so `run - 3 <= 127`.

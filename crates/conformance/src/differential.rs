@@ -8,6 +8,13 @@
 //!   nondeterministic reduction.
 //! * **Batch vs per-item equivalence** — `compress_many`/`retrieve_many`
 //!   must match looping the single-item APIs.
+//! * **SIMD vs scalar bit-identity** — every bit-plane kernel
+//!   ([`PlaneKernel`]) must produce byte-identical artifacts and
+//!   bit-identical reconstructions; the legacy scalar path is the oracle.
+//!   Checked end-to-end over the full field catalogue (including the
+//!   NaN-laced class) and at the codec layer over adversarial coefficient
+//!   arrays (all-zero planes, alternating sign, inf/NaN-laced, subnormal,
+//!   ragged counts that are not a multiple of the 64-lane tile).
 //! * **Monotonicity** — under the theory planner, a tighter bound never
 //!   fetches fewer bytes (exact: the greedy pick sequence is
 //!   bound-independent, the bound only moves the stopping point), and more
@@ -19,7 +26,10 @@
 use crate::fields::{catalogue, FieldClass};
 use crate::sweep::{SWEEP_LEVELS, SWEEP_PLANES};
 use pmr_field::Field;
-use pmr_mgard::{persist, CompressConfig, Compressed, DecodeOptions, ExecPolicy, RetrievalPlan};
+use pmr_mgard::{
+    persist, CompressConfig, Compressed, DecodeOptions, ExecPolicy, LevelEncoding, PlaneKernel,
+    RetrievalPlan,
+};
 
 fn compress_cfg(threads: usize) -> CompressConfig {
     CompressConfig {
@@ -111,6 +121,102 @@ pub fn check_batch_equivalence(seed: u64, failures: &mut Vec<String>) {
     }
 }
 
+/// Every bit-plane kernel must be bit-identical to the legacy scalar path.
+///
+/// End-to-end: compressing the full catalogue (NaN-laced included) under
+/// each explicit kernel must yield byte-identical artifacts and
+/// bit-identical retrievals. Codec-level: `LevelEncoding` over adversarial
+/// coefficient arrays must match the scalar oracle exactly — serialized
+/// bytes, error rows, and every decode prefix.
+pub fn check_kernel_identity(seed: u64, failures: &mut Vec<String>) {
+    let kernels = [PlaneKernel::Auto, PlaneKernel::Simd, PlaneKernel::Swar];
+    let scalar_exec = ExecPolicy::serial().with_kernel(PlaneKernel::Scalar);
+
+    // End-to-end over the catalogue — kernel invariance must hold on
+    // non-finite inputs too, so no `is_finite` filter here.
+    for (_, field) in catalogue(seed) {
+        let cfg = compress_cfg(1);
+        let oracle = Compressed::compress_with(&field, &cfg, &scalar_exec);
+        let oracle_bytes = persist::to_bytes(&oracle).map_err(|e| e.to_string());
+        let plan = oracle.plan_theory(oracle.absolute_bound(1e-4));
+        let oracle_out = oracle
+            .decode_plan(&plan, &DecodeOptions::with_exec(scalar_exec))
+            .expect("theory plan matches its artifact");
+        for kernel in kernels {
+            let exec = ExecPolicy::serial().with_kernel(kernel);
+            let tiled = Compressed::compress_with(&field, &cfg, &exec);
+            if persist::to_bytes(&tiled).map_err(|e| e.to_string()) != oracle_bytes {
+                failures.push(format!(
+                    "differential: {} {} kernel artifact differs from scalar oracle",
+                    field.name(),
+                    kernel.name()
+                ));
+                continue;
+            }
+            let out = tiled
+                .decode_plan(&plan, &DecodeOptions::with_exec(exec))
+                .expect("theory plan matches its artifact");
+            if bits(&out) != bits(&oracle_out) {
+                failures.push(format!(
+                    "differential: {} {} kernel retrieval differs from scalar oracle",
+                    field.name(),
+                    kernel.name()
+                ));
+            }
+        }
+    }
+
+    // Codec-level adversarial corpus. 200 is deliberately not a multiple of
+    // the 64-lane tile so every case also exercises the ragged tail.
+    let adversarial: Vec<(&str, Vec<f64>)> = vec![
+        ("all-zero", vec![0.0; 200]),
+        ("alternating-sign", (0..200).map(|i| if i % 2 == 0 { 1.5 } else { -1.5 }).collect()),
+        ("tiny-uniform", vec![f64::MIN_POSITIVE; 200]),
+        ("subnormal", (0..200).map(|i| f64::from_bits(1 + (i as u64 % 7))).collect()),
+        (
+            "nan-laced",
+            (0..200).map(|i| if i % 37 == 0 { f64::NAN } else { (i as f64).sin() }).collect(),
+        ),
+        (
+            "inf-laced",
+            (0..200)
+                .map(|i| if i % 53 == 0 { f64::INFINITY } else { (i as f64).cos() * 8.0 })
+                .collect(),
+        ),
+        ("single", vec![3.75]),
+        ("tile-aligned", (0..128).map(|i| (i as f64) * 0.375 - 20.0).collect()),
+    ];
+    for (name, coeffs) in &adversarial {
+        for planes in [3, 17, SWEEP_PLANES] {
+            let oracle = LevelEncoding::encode_with(coeffs, planes, &scalar_exec);
+            let obytes = oracle.to_bytes().map_err(|e| e.to_string());
+            for kernel in kernels {
+                let exec = ExecPolicy::serial().with_kernel(kernel);
+                let enc = LevelEncoding::encode_with(coeffs, planes, &exec);
+                if enc.to_bytes().map_err(|e| e.to_string()) != obytes {
+                    failures.push(format!(
+                        "differential: adversarial {name}/{planes} {} encode differs from scalar",
+                        kernel.name()
+                    ));
+                    continue;
+                }
+                for b in [0, 1, planes / 2, planes] {
+                    let got: Vec<u64> =
+                        enc.decode_with(b, &exec).iter().map(|v| v.to_bits()).collect();
+                    let want: Vec<u64> =
+                        oracle.decode_with(b, &scalar_exec).iter().map(|v| v.to_bits()).collect();
+                    if got != want {
+                        failures.push(format!(
+                            "differential: adversarial {name}/{planes} {} decode({b}) differs",
+                            kernel.name()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Monotonicity invariants under the theory planner.
 pub fn check_monotonicity(seed: u64, failures: &mut Vec<String>) {
     for field in finite_corpus(seed) {
@@ -155,6 +261,7 @@ pub fn check_monotonicity(seed: u64, failures: &mut Vec<String>) {
 pub fn run_differential(seed: u64) -> Vec<String> {
     let mut failures = Vec::new();
     check_serial_parallel_identity(seed, &mut failures);
+    check_kernel_identity(seed, &mut failures);
     check_batch_equivalence(seed, &mut failures);
     check_monotonicity(seed, &mut failures);
     failures

@@ -16,14 +16,18 @@
 //!    error-accounting stability).
 //!
 //! Retrieval probes run under the serial [`ExecPolicy`] so the recorded
-//! bits never depend on the machine's core count. Regenerate with
-//! `pmrtool conformance --regen-golden` after an *intentional* format
-//! change, and say so in the commit message.
+//! bits never depend on the machine's core count, and each probe decode is
+//! repeated through the legacy scalar bit-plane kernel
+//! ([`PlaneKernel::Scalar`]) — a checked-in blob must reconstruct to the
+//! same bits no matter which kernel the host resolves, so a SIMD/SWAR
+//! divergence fails golden verification, not just the differential sweep.
+//! Regenerate with `pmrtool conformance --regen-golden` after an
+//! *intentional* format change, and say so in the commit message.
 
 use crate::json::{parse, Json};
 use crate::sweep::{SWEEP_LEVELS, SWEEP_PLANES};
 use pmr_field::{Field, Shape};
-use pmr_mgard::{persist, CompressConfig, Compressed, DecodeOptions, ExecPolicy};
+use pmr_mgard::{persist, CompressConfig, Compressed, DecodeOptions, ExecPolicy, PlaneKernel};
 use std::path::Path;
 
 /// Bump when the golden corpus itself changes shape (not when blobs are
@@ -258,6 +262,19 @@ fn verify_artifact(dir: &Path, entry: &Json, name: &str) -> Result<(), String> {
         let out = parsed
             .decode_plan(&plan, &DecodeOptions::with_exec(ExecPolicy::serial()))
             .map_err(|e| format!("golden: {name}: probe {i}: {e}"))?;
+        // The serial decode above runs whatever kernel `Auto` resolves on
+        // this host; the committed bits must also reproduce through the
+        // legacy scalar assembly.
+        let scalar_exec = ExecPolicy::serial().with_kernel(PlaneKernel::Scalar);
+        let scalar_out = parsed
+            .decode_plan(&plan, &DecodeOptions::with_exec(scalar_exec))
+            .map_err(|e| format!("golden: {name}: probe {i} (scalar kernel): {e}"))?;
+        if out.data().iter().map(|v| v.to_bits()).ne(scalar_out.data().iter().map(|v| v.to_bits()))
+        {
+            return Err(format!(
+                "golden: {name}: probe {i}: scalar and tiled kernels reconstruct different bits"
+            ));
+        }
         let achieved = pmr_field::error::max_abs_error(field.data(), out.data());
         let recorded = hex_bits(probe.get("achieved_bits"))
             .ok_or_else(|| format!("golden: {name}: probe {i}: bad achieved_bits"))?;

@@ -20,7 +20,7 @@
 use crate::framework::{RetrievalContext, Retriever};
 use pmr_error::PmrError;
 use pmr_field::{error, Field};
-use pmr_mgard::{Compressed, DecodeOptions, ExecPolicy, RetrievalPlan};
+use pmr_mgard::{Compressed, DecodeOptions, ExecPolicy, PlaneKernel, RetrievalPlan};
 use pmr_storage::{
     fetch_plan_tolerant, DegradedRetrieval, FetchStats, Placement, SegmentStore, StorageHierarchy,
     TolerantConfig,
@@ -126,6 +126,15 @@ impl RetrievalRequest {
     /// Override the execution policy for the decode.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = Some(exec);
+        self
+    }
+
+    /// Select the bit-plane codec kernel for the decode (layered onto the
+    /// current execution policy, or the default policy if none was set).
+    /// Every kernel is bit-identical; [`PlaneKernel::Scalar`] exists for
+    /// differential testing against the legacy path.
+    pub fn with_kernel(mut self, kernel: PlaneKernel) -> Self {
+        self.exec = Some(self.exec.unwrap_or_default().with_kernel(kernel));
         self
     }
 

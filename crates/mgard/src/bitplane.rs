@@ -10,11 +10,23 @@
 //! While encoding we also *collect* (not model) the error row
 //! `Err[b] = max_i |c_i − decode_b(c_i)|` for `b = 0..=B` — the per-level
 //! error matrix that both the theory estimator and E-MGARD consume.
+//!
+//! # Kernels
+//!
+//! The encode/decode hot path runs through the cache-blocked transpose
+//! kernels of [`pmr_codec::transpose`]: 64 quantized digits form a tile
+//! whose bitwise transpose yields all plane words at once, so the per-bit
+//! `BitWriter`/`BitReader` traffic collapses into whole-word copies and the
+//! prefix-reconstruction error loop becomes branchless and vectorizable.
+//! [`ExecPolicy::kernel`] selects the implementation; every kernel is
+//! bit-identical by construction, and [`PlaneKernel::Scalar`] keeps the
+//! original bit-at-a-time path alive as the differential oracle (it ignores
+//! `threads` for this stage — the oracle is defined serially).
 
 use crate::exec::ExecPolicy;
 use pmr_codec::{
     bitstream::{BitReader, BitWriter},
-    lossless, negabinary,
+    lossless, negabinary, transpose, PlaneKernel, TileImpl,
 };
 use pmr_error::{len_u32, PmrError};
 use serde::{Deserialize, Serialize};
@@ -50,9 +62,123 @@ fn quantize(c: f64, step: f64) -> i64 {
     (c / step).round() as i64
 }
 
+/// Quantize/encode one tile-aligned coefficient chunk: fills one packed-bit
+/// segment per plane (`segs[k]`, pre-sized to `coeffs.len().div_ceil(8)`)
+/// and folds the chunk's truncation errors into `row` (length `B + 1`).
+///
+/// Bit-identity with the scalar path: the digits come from the same
+/// `quantize`/`to_negabinary` expressions; plane bits land at the same
+/// MSB-first positions (`word.to_be_bytes()` is exactly the `BitWriter`
+/// layout, and zero-padded tile tails match its zero fill); and the error
+/// accumulator `val`, although held in f64, only ever takes integer values
+/// below 2^51 (`num_planes <= 50`), where f64 addition is exact — so every
+/// `(c - val * step)` matches the scalar `(c - val_i64 as f64 * step)` bit
+/// for bit. The max-merges reorder only `f64::max`, which is associative,
+/// commutative, and NaN-ignoring like the scalar `if err > worst` fold.
+fn encode_chunk_tiled(
+    coeffs: &[f64],
+    num_planes: u32,
+    step: f64,
+    weights_f: &[f64],
+    imp: TileImpl,
+    segs: &mut [Vec<u8>],
+    row: &mut [f64],
+) {
+    let b = num_planes;
+    let bu = b as usize;
+    let seg_len = coeffs.len().div_ceil(8);
+    for (t, chunk) in coeffs.chunks(transpose::TILE).enumerate() {
+        let mut tile = [0u64; transpose::TILE];
+        let mut cval = [0.0f64; transpose::TILE];
+        for ((d, cv), &c) in tile.iter_mut().zip(cval.iter_mut()).zip(chunk) {
+            *d = negabinary::to_negabinary(quantize(c, step));
+            *cv = c;
+        }
+        let mut m0 = row[0];
+        for &c in chunk {
+            m0 = m0.max(c.abs());
+        }
+        row[0] = m0;
+        // Branchless prefix-reconstruction error, one plane across the whole
+        // tile. Padding lanes contribute zero digits and c = 0.0, i.e. a
+        // zero error that never moves the max.
+        let mut val = [0.0f64; transpose::TILE];
+        for ((shift, &w), worst) in (0..b).rev().zip(weights_f).zip(row[1..].iter_mut()) {
+            let wbits = w.to_bits();
+            // Two passes so the accumulate and the max-reduction each
+            // auto-vectorize; `max` is order-independent, so splitting them
+            // keeps the row bit-identical to the scalar oracle.
+            for j in 0..transpose::TILE {
+                let bit = tile[j] >> shift & 1;
+                val[j] += f64::from_bits(wbits & bit.wrapping_neg());
+            }
+            let mut pmax = 0.0f64;
+            for j in 0..transpose::TILE {
+                pmax = pmax.max((cval[j] - val[j] * step).abs());
+            }
+            *worst = worst.max(pmax);
+        }
+        // One transpose yields every plane word of the tile; the plane words
+        // are the bottom `b` rows (see `pmr_codec::transpose` docs).
+        transpose::transpose64(&mut tile, imp);
+        let base = t * 8;
+        let nbytes = (seg_len - base).min(8);
+        for (seg, word) in segs.iter_mut().zip(&tile[transpose::TILE - bu..]) {
+            seg[base..base + nbytes].copy_from_slice(&word.to_be_bytes()[..nbytes]);
+        }
+    }
+}
+
+/// Rebuild the coefficients starting at tile-aligned index `lo` from
+/// unpacked plane bytes (a prefix of the planes is fine — missing low
+/// planes decode as zero digits). `expected` is the packed byte length of
+/// one full plane, `count.div_ceil(8)`.
+fn tiles_to_coeffs(
+    plane_bytes: &[Vec<u8>],
+    num_planes: u32,
+    step: f64,
+    expected: usize,
+    lo: usize,
+    out: &mut [f64],
+    imp: TileImpl,
+) {
+    debug_assert_eq!(lo % transpose::TILE, 0);
+    let bu = num_planes as usize;
+    for (t, ochunk) in out.chunks_mut(transpose::TILE).enumerate() {
+        let base = (lo + t * transpose::TILE) / 8;
+        let nbytes = (expected - base).min(8);
+        let mut y = [0u64; transpose::TILE];
+        for (yk, pb) in y[transpose::TILE - bu..].iter_mut().zip(plane_bytes) {
+            let mut wb = [0u8; 8];
+            wb[..nbytes].copy_from_slice(&pb[base..base + nbytes]);
+            *yk = u64::from_be_bytes(wb);
+        }
+        transpose::transpose64(&mut y, imp);
+        for (slot, &d) in ochunk.iter_mut().zip(&y) {
+            *slot = negabinary::from_negabinary(d) as f64 * step;
+        }
+    }
+}
+
 impl LevelEncoding {
     /// Encode `coeffs` into `num_planes` bit-planes (`3 <= num_planes <= 50`).
     pub fn encode(coeffs: &[f64], num_planes: u32) -> Self {
+        Self::encode_with(coeffs, num_planes, &ExecPolicy::serial())
+    }
+
+    /// [`LevelEncoding::encode`] under an explicit execution policy.
+    ///
+    /// The parallel path splits the coefficients into tile-aligned chunks
+    /// (multiples of 64, so no tile straddles a worker); each chunk fills
+    /// its own plane byte segments and a private error row, the segments
+    /// concatenate at byte boundaries, and the rows merge with `f64::max`
+    /// — exact and therefore bit-identical to the serial scan. The lossless
+    /// compression pass parallelizes across planes, which are independent.
+    ///
+    /// [`PlaneKernel::Scalar`] routes to the original bit-at-a-time encoder
+    /// (the differential oracle), which is defined serially and ignores
+    /// `threads` for this stage.
+    pub fn encode_with(coeffs: &[f64], num_planes: u32, exec: &ExecPolicy) -> Self {
         assert!((3..=50).contains(&num_planes), "num_planes out of range");
         let b = num_planes;
         let max_abs = coeffs.iter().fold(0.0_f64, |m, &c| m.max(c.abs()));
@@ -99,6 +225,22 @@ impl LevelEncoding {
         // Fixed-point scale: |q| <= 2^(B-2) fits in B negabinary digits.
         let step = max_abs / (1u64 << (b - 2)) as f64;
         let step = if step > 0.0 { step } else { f64::MIN_POSITIVE };
+
+        if exec.kernel.is_scalar() {
+            return Self::encode_scalar(coeffs, b, step);
+        }
+        let imp = exec.kernel.tile_impl();
+        let threads = exec.resolved_threads();
+        if threads <= 1 || coeffs.len() < 2 * threads {
+            Self::encode_tiled(coeffs, b, step, imp)
+        } else {
+            Self::encode_tiled_parallel(coeffs, b, step, imp, threads)
+        }
+    }
+
+    /// The original bit-at-a-time encoder, kept verbatim as the
+    /// differential oracle behind [`PlaneKernel::Scalar`].
+    fn encode_scalar(coeffs: &[f64], b: u32, step: f64) -> Self {
         let mut digits: Vec<u64> = Vec::with_capacity(coeffs.len());
         let mut error_row = vec![0.0f64; b as usize + 1];
         // Weights (-2)^(B-1-k) for incremental reconstruction.
@@ -139,86 +281,69 @@ impl LevelEncoding {
         LevelEncoding { count: coeffs.len(), num_planes: b, step, planes, error_row }
     }
 
-    /// [`LevelEncoding::encode`] under an explicit execution policy.
-    ///
-    /// The digit/error pass splits the coefficients into one contiguous chunk
-    /// per worker; each chunk collects a private error row and the rows are
-    /// merged with `f64::max` in chunk order, which is exact and therefore
-    /// bit-identical to the serial scan. The plane packing/compression pass
-    /// parallelizes across planes, which are independent by construction.
-    pub fn encode_with(coeffs: &[f64], num_planes: u32, exec: &ExecPolicy) -> Self {
-        assert!((3..=50).contains(&num_planes), "num_planes out of range");
-        let threads = exec.resolved_threads();
-        if threads <= 1 || coeffs.len() < 2 * threads {
-            return Self::encode(coeffs, num_planes);
-        }
-        let b = num_planes;
-        let max_abs = coeffs.iter().fold(0.0_f64, |m, &c| m.max(c.abs()));
-        if max_abs == 0.0 || !max_abs.is_finite() {
-            return Self::encode(coeffs, num_planes);
-        }
+    /// Serial tiled encode: one pass of [`encode_chunk_tiled`] over the
+    /// whole level, then per-plane lossless compression.
+    fn encode_tiled(coeffs: &[f64], b: u32, step: f64, imp: TileImpl) -> Self {
+        let bu = b as usize;
+        let weights_f: Vec<f64> = (0..b).map(|k| (-2_i64).pow(b - 1 - k) as f64).collect();
+        let seg_len = coeffs.len().div_ceil(8);
+        let mut segs: Vec<Vec<u8>> = vec![vec![0u8; seg_len]; bu];
+        let mut error_row = vec![0.0f64; bu + 1];
+        encode_chunk_tiled(coeffs, b, step, &weights_f, imp, &mut segs, &mut error_row);
+        let planes = segs.iter().map(|s| lossless::compress(s)).collect();
+        LevelEncoding { count: coeffs.len(), num_planes: b, step, planes, error_row }
+    }
 
-        let step = max_abs / (1u64 << (b - 2)) as f64;
-        let step = if step > 0.0 { step } else { f64::MIN_POSITIVE };
-        let weights: Vec<i64> = (0..b).map(|k| (-2_i64).pow(b - 1 - k)).collect();
-
-        // Pass 1: fixed-point digits plus per-chunk error rows.
-        let mut digits = vec![0u64; coeffs.len()];
-        let csize = coeffs.len().div_ceil(threads).max(1);
+    /// Parallel tiled encode; see [`LevelEncoding::encode_with`] for the
+    /// bit-identity argument.
+    fn encode_tiled_parallel(
+        coeffs: &[f64],
+        b: u32,
+        step: f64,
+        imp: TileImpl,
+        threads: usize,
+    ) -> Self {
+        let bu = b as usize;
+        let weights_f: Vec<f64> = (0..b).map(|k| (-2_i64).pow(b - 1 - k) as f64).collect();
+        // Tile-aligned chunks: no tile straddles a worker, and every
+        // non-final chunk packs to a whole number of plane bytes.
+        let csize =
+            coeffs.len().div_ceil(threads).max(1).div_ceil(transpose::TILE) * transpose::TILE;
         let nchunks = coeffs.len().div_ceil(csize);
-        let mut rows: Vec<Vec<f64>> = vec![vec![0.0f64; b as usize + 1]; nchunks];
+        let mut rows: Vec<Vec<f64>> = vec![vec![0.0f64; bu + 1]; nchunks];
+        let mut segsets: Vec<Vec<Vec<u8>>> =
+            coeffs.chunks(csize).map(|ch| vec![vec![0u8; ch.len().div_ceil(8)]; bu]).collect();
         std::thread::scope(|scope| {
-            for ((dchunk, cchunk), row) in
-                digits.chunks_mut(csize).zip(coeffs.chunks(csize)).zip(rows.iter_mut())
+            for ((cchunk, segs), row) in
+                coeffs.chunks(csize).zip(segsets.iter_mut()).zip(rows.iter_mut())
             {
-                let weights = &weights;
-                scope.spawn(move || {
-                    for (dst, &c) in dchunk.iter_mut().zip(cchunk) {
-                        let q = quantize(c, step);
-                        let nb = negabinary::to_negabinary(q);
-                        *dst = nb;
-                        row[0] = row[0].max(c.abs());
-                        let mut val: i64 = 0;
-                        for ((shift, &w), worst) in
-                            (0..b).rev().zip(weights.iter()).zip(row[1..].iter_mut())
-                        {
-                            if nb >> shift & 1 == 1 {
-                                val += w;
-                            }
-                            let err = (c - val as f64 * step).abs();
-                            if err > *worst {
-                                *worst = err;
-                            }
-                        }
-                    }
-                });
+                let weights_f = &weights_f;
+                scope.spawn(move || encode_chunk_tiled(cchunk, b, step, weights_f, imp, segs, row));
             }
         });
-        let mut error_row = vec![0.0f64; b as usize + 1];
+        let mut error_row = vec![0.0f64; bu + 1];
         for row in &rows {
             for (e, &r) in error_row.iter_mut().zip(row) {
                 *e = e.max(r);
             }
         }
 
-        // Pass 2: pack and losslessly compress each plane; planes are
-        // independent, so they are distributed across workers whole.
-        let mut planes: Vec<Vec<u8>> = vec![Vec::new(); b as usize];
-        let pchunk = (b as usize).div_ceil(threads).max(1);
-        // Shift of plane `k` is `b-1-k`; carrying the shifts alongside the
-        // plane slots avoids recovering `k` from chunk geometry (and the
-        // narrowing cast that required).
-        let shifts: Vec<u32> = (0..b).rev().collect();
+        // Stitch and compress each plane; planes are independent, so they
+        // are distributed across workers whole.
+        let mut planes: Vec<Vec<u8>> = vec![Vec::new(); bu];
+        let expected = coeffs.len().div_ceil(8);
+        let pchunk = bu.div_ceil(threads).max(1);
         std::thread::scope(|scope| {
-            for (chunk, schunk) in planes.chunks_mut(pchunk).zip(shifts.chunks(pchunk)) {
-                let digits = &digits;
+            for (pi, chunk) in planes.chunks_mut(pchunk).enumerate() {
+                let segsets = &segsets;
                 scope.spawn(move || {
-                    for (slot, &shift) in chunk.iter_mut().zip(schunk) {
-                        let mut w = BitWriter::with_capacity(digits.len());
-                        for &nb in digits {
-                            w.push(nb >> shift & 1 == 1);
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let k = pi * pchunk + j;
+                        let mut buf = Vec::with_capacity(expected);
+                        for segs in segsets {
+                            buf.extend_from_slice(&segs[k]);
                         }
-                        *slot = lossless::compress(&w.into_bytes());
+                        *slot = lossless::compress(&buf);
                     }
                 });
             }
@@ -275,6 +400,18 @@ impl LevelEncoding {
     /// coefficient) and a mangled segment comes back as
     /// [`PmrError::Malformed`] instead of a panic.
     pub fn decode_from_payloads(&self, payloads: &[Vec<u8>]) -> Result<Vec<f64>, PmrError> {
+        self.decode_from_payloads_with(payloads, PlaneKernel::Auto)
+    }
+
+    /// [`LevelEncoding::decode_from_payloads`] with an explicit bit-plane
+    /// kernel — the validated path's differential hook
+    /// ([`PlaneKernel::Scalar`] re-runs the original bit-at-a-time
+    /// assembly).
+    pub fn decode_from_payloads_with(
+        &self,
+        payloads: &[Vec<u8>],
+        kernel: PlaneKernel,
+    ) -> Result<Vec<f64>, PmrError> {
         if payloads.len() > self.num_planes as usize {
             return Err(PmrError::malformed(
                 "plane segment",
@@ -285,34 +422,44 @@ impl LevelEncoding {
             return Ok(vec![0.0; self.count]);
         }
         let expected = self.count.div_ceil(8);
-        let mut digits = vec![0u64; self.count];
-        for ((k, payload), shift) in payloads.iter().enumerate().zip((0..self.num_planes).rev()) {
-            let bytes = match lossless::decompress_bounded(payload, expected) {
-                Some(b) if b.len() == expected => b,
+        let mut plane_bytes = Vec::with_capacity(payloads.len());
+        for (k, payload) in payloads.iter().enumerate() {
+            match lossless::decompress_bounded(payload, expected) {
+                Some(b) if b.len() == expected => plane_bytes.push(b),
                 _ => {
                     return Err(PmrError::malformed(
                         "plane segment",
                         format!("plane {k} does not decompress to {expected} packed bytes"),
                     ))
                 }
-            };
-            let mut r = BitReader::new(&bytes);
-            for nb in digits.iter_mut() {
-                let bit = r.next_bit().ok_or_else(|| {
-                    PmrError::malformed(
-                        "plane segment",
-                        format!("plane {k} exhausted before {} coefficients", self.count),
-                    )
-                })?;
-                if bit {
-                    *nb |= 1u64 << shift;
-                }
             }
         }
-        Ok(digits
-            .into_iter()
-            .map(|nb| negabinary::from_negabinary(nb) as f64 * self.step)
-            .collect())
+        if kernel.is_scalar() {
+            let mut digits = vec![0u64; self.count];
+            for (bytes, shift) in plane_bytes.iter().zip((0..self.num_planes).rev()) {
+                let mut r = BitReader::new(bytes);
+                for nb in digits.iter_mut() {
+                    if r.next_bit() == Some(true) {
+                        *nb |= 1u64 << shift;
+                    }
+                }
+            }
+            return Ok(digits
+                .into_iter()
+                .map(|nb| negabinary::from_negabinary(nb) as f64 * self.step)
+                .collect());
+        }
+        let mut out = vec![0.0f64; self.count];
+        tiles_to_coeffs(
+            &plane_bytes,
+            self.num_planes,
+            self.step,
+            expected,
+            0,
+            &mut out,
+            kernel.tile_impl(),
+        );
+        Ok(out)
     }
 
     /// Serialize to a self-contained byte buffer (used by the artifact
@@ -406,16 +553,54 @@ impl LevelEncoding {
         self.error_row[b.min(self.num_planes) as usize]
     }
 
+    /// Decompress the first `b` plane payloads. Planes are a construction
+    /// invariant: `encode` packs exactly one bit per coefficient and
+    /// `from_parts` re-validates persisted planes the same way, so a
+    /// failure here is a contract bug, not bad input — asserted, not routed
+    /// through `PmrError`.
+    fn decompress_planes(&self, b: u32) -> Vec<Vec<u8>> {
+        let expected = self.count.div_ceil(8);
+        (0..b as usize)
+            .map(|k| {
+                let bytes = lossless::decompress(&self.planes[k]).unwrap_or_default();
+                assert_eq!(bytes.len(), expected, "plane {k} violated the construction invariant");
+                bytes
+            })
+            .collect()
+    }
+
     /// Decode the level using only the first `b` planes (clamped to `B`).
     pub fn decode(&self, b: u32) -> Vec<f64> {
         let b = b.min(self.num_planes);
+        self.decode_tiled(b, PlaneKernel::Auto.tile_impl())
+    }
+
+    /// [`LevelEncoding::decode`] under an explicit execution policy.
+    ///
+    /// Planes decompress independently in parallel, then tile-aligned
+    /// coefficient chunks assemble their digits through the transpose
+    /// kernels — each coefficient is produced by exactly one worker, so the
+    /// output matches serial decoding bit for bit. [`PlaneKernel::Scalar`]
+    /// routes to the original bit-at-a-time decoder (serial by definition).
+    pub fn decode_with(&self, b: u32, exec: &ExecPolicy) -> Vec<f64> {
+        let b = b.min(self.num_planes);
+        if exec.kernel.is_scalar() {
+            return self.decode_scalar(b);
+        }
+        let imp = exec.kernel.tile_impl();
+        let threads = exec.resolved_threads();
+        if threads <= 1 || b == 0 || self.step == 0.0 || self.count < 2 * threads {
+            return self.decode_tiled(b, imp);
+        }
+        self.decode_tiled_parallel(b, imp, threads)
+    }
+
+    /// The original bit-at-a-time decoder, kept verbatim as the
+    /// differential oracle behind [`PlaneKernel::Scalar`].
+    fn decode_scalar(&self, b: u32) -> Vec<f64> {
         if self.step == 0.0 {
             return vec![0.0; self.count];
         }
-        // Planes are a construction invariant: `encode` packs exactly one
-        // bit per coefficient and `from_parts` re-validates persisted planes
-        // the same way, so a failure here is a contract bug, not bad input —
-        // asserted, not routed through `PmrError`.
         let expected = self.count.div_ceil(8);
         let mut digits = vec![0u64; self.count];
         for k in 0..b {
@@ -432,21 +617,28 @@ impl LevelEncoding {
         digits.into_iter().map(|nb| negabinary::from_negabinary(nb) as f64 * self.step).collect()
     }
 
-    /// [`LevelEncoding::decode`] under an explicit execution policy.
-    ///
-    /// Planes decompress independently in parallel, then coefficient chunks
-    /// assemble their digits by random-access bit reads — each coefficient is
-    /// produced by exactly one worker, so the output matches serial decoding
-    /// bit for bit.
-    pub fn decode_with(&self, b: u32, exec: &ExecPolicy) -> Vec<f64> {
-        let b = b.min(self.num_planes);
-        let threads = exec.resolved_threads();
-        if threads <= 1 || b == 0 || self.step == 0.0 || self.count < 2 * threads {
-            return self.decode(b);
+    /// Serial tiled decode.
+    fn decode_tiled(&self, b: u32, imp: TileImpl) -> Vec<f64> {
+        if self.step == 0.0 {
+            return vec![0.0; self.count];
         }
+        let plane_bytes = self.decompress_planes(b);
+        let mut out = vec![0.0f64; self.count];
+        tiles_to_coeffs(
+            &plane_bytes,
+            self.num_planes,
+            self.step,
+            self.count.div_ceil(8),
+            0,
+            &mut out,
+            imp,
+        );
+        out
+    }
 
-        // Pass 1: decompress the requested planes. As in `decode`, the plane
-        // payloads are a construction invariant, so a mismatch is asserted.
+    /// Parallel tiled decode: plane decompression parallelizes across
+    /// planes, tile assembly across tile-aligned coefficient chunks.
+    fn decode_tiled_parallel(&self, b: u32, imp: TileImpl, threads: usize) -> Vec<f64> {
         let expected = self.count.div_ceil(8);
         let mut plane_bytes: Vec<Vec<u8>> = vec![Vec::new(); b as usize];
         let pchunk = (b as usize).div_ceil(threads).max(1);
@@ -467,25 +659,21 @@ impl LevelEncoding {
             }
         });
 
-        // Pass 2: assemble and dequantize coefficient chunks. Planes are
-        // packed MSB-first, so coefficient `i` is bit `7 - (i % 8)` of byte
-        // `i / 8` in every plane.
         let mut out = vec![0.0f64; self.count];
-        let csize = self.count.div_ceil(threads).max(1);
+        let csize = self.count.div_ceil(threads).max(1).div_ceil(transpose::TILE) * transpose::TILE;
         std::thread::scope(|scope| {
             for (ci, chunk) in out.chunks_mut(csize).enumerate() {
                 let plane_bytes = &plane_bytes;
                 scope.spawn(move || {
-                    for (j, slot) in chunk.iter_mut().enumerate() {
-                        let i = ci * csize + j;
-                        let mut nb = 0u64;
-                        for (bytes, shift) in plane_bytes.iter().zip((0..self.num_planes).rev()) {
-                            if bytes[i >> 3] >> (7 - (i & 7)) & 1 == 1 {
-                                nb |= 1u64 << shift;
-                            }
-                        }
-                        *slot = negabinary::from_negabinary(nb) as f64 * self.step;
-                    }
+                    tiles_to_coeffs(
+                        plane_bytes,
+                        self.num_planes,
+                        self.step,
+                        expected,
+                        ci * csize,
+                        chunk,
+                        imp,
+                    );
                 });
             }
         });
@@ -504,6 +692,10 @@ mod tests {
                 t.sin() * 3.0 + (t * 1.7).cos() * 0.01
             })
             .collect()
+    }
+
+    fn scalar_policy() -> ExecPolicy {
+        ExecPolicy::serial().with_kernel(PlaneKernel::Scalar)
     }
 
     #[test]
@@ -622,5 +814,106 @@ mod tests {
         let par = LevelEncoding::encode_with(&coeffs, 32, &ExecPolicy::with_threads(4));
         let serial = LevelEncoding::encode(&coeffs, 32);
         assert_eq!(par.to_bytes().unwrap(), serial.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn tiled_encode_matches_scalar_oracle() {
+        // Counts straddling tile boundaries, including ragged tails.
+        for n in [1usize, 63, 64, 65, 127, 128, 200, 1000, 4096, 4100] {
+            let coeffs = sample_coeffs(n);
+            for b in [3u32, 17, 32, 50] {
+                let scalar = LevelEncoding::encode_with(&coeffs, b, &scalar_policy());
+                for kernel in [PlaneKernel::Auto, PlaneKernel::Simd, PlaneKernel::Swar] {
+                    let tiled = LevelEncoding::encode_with(
+                        &coeffs,
+                        b,
+                        &ExecPolicy::serial().with_kernel(kernel),
+                    );
+                    assert_eq!(
+                        tiled.to_bytes().unwrap(),
+                        scalar.to_bytes().unwrap(),
+                        "n={n} b={b} {kernel:?}"
+                    );
+                    let bits = |e: &LevelEncoding| {
+                        e.error_row().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                    };
+                    assert_eq!(bits(&tiled), bits(&scalar), "n={n} b={b} {kernel:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_decode_matches_scalar_oracle() {
+        for n in [1usize, 65, 1000, 4100] {
+            let coeffs = sample_coeffs(n);
+            let enc = LevelEncoding::encode(&coeffs, 32);
+            for b in [0u32, 1, 7, 16, 31, 32] {
+                let scalar = enc.decode_with(b, &scalar_policy());
+                for kernel in [PlaneKernel::Auto, PlaneKernel::Simd, PlaneKernel::Swar] {
+                    let tiled = enc.decode_with(b, &ExecPolicy::serial().with_kernel(kernel));
+                    let same = scalar.iter().zip(&tiled).all(|(a, x)| a.to_bits() == x.to_bits());
+                    assert!(same, "n={n} b={b} {kernel:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_decode_matches_scalar_oracle() {
+        let coeffs = sample_coeffs(777);
+        let enc = LevelEncoding::encode(&coeffs, 24);
+        for p in [0usize, 1, 11, 24] {
+            let payloads: Vec<Vec<u8>> =
+                (0..p).map(|k| enc.plane_payload(k as u32).to_vec()).collect();
+            let scalar = enc.decode_from_payloads_with(&payloads, PlaneKernel::Scalar).unwrap();
+            let tiled = enc.decode_from_payloads(&payloads).unwrap();
+            let same = scalar.iter().zip(&tiled).all(|(a, x)| a.to_bits() == x.to_bits());
+            assert!(same, "p={p}");
+        }
+    }
+
+    #[test]
+    fn new_artifacts_decode_through_scalar_path() {
+        // Artifacts encoded by the tiled path must read back identically
+        // through the legacy scalar decoder (cross-version compatibility).
+        let coeffs = sample_coeffs(1234);
+        let tiled = LevelEncoding::encode(&coeffs, 32);
+        let scalar_enc = LevelEncoding::encode_with(&coeffs, 32, &scalar_policy());
+        assert_eq!(tiled.to_bytes().unwrap(), scalar_enc.to_bytes().unwrap());
+        for b in [4u32, 16, 32] {
+            let via_scalar = tiled.decode_with(b, &scalar_policy());
+            let via_tiled = tiled.decode(b);
+            let same = via_scalar.iter().zip(&via_tiled).all(|(a, x)| a.to_bits() == x.to_bits());
+            assert!(same, "b={b}");
+        }
+    }
+
+    #[test]
+    fn adversarial_levels_are_kernel_invariant() {
+        let mut cases: Vec<Vec<f64>> = vec![
+            vec![0.0; 321],                                                  // all-zero planes
+            (0..130).map(|i| if i % 2 == 0 { 1.5 } else { -1.5 }).collect(), // alternating sign
+            (0..97).map(|i| f64::MIN_POSITIVE * (i as f64 + 1.0)).collect(), // subnormal scale
+            vec![5e-324; 66],                                                // actual subnormals
+        ];
+        let mut nan_laced = sample_coeffs(200);
+        nan_laced[3] = f64::NAN;
+        nan_laced[77] = f64::NAN;
+        cases.push(nan_laced);
+        let mut inf_laced = sample_coeffs(100);
+        inf_laced[50] = f64::INFINITY;
+        cases.push(inf_laced);
+        for (i, coeffs) in cases.iter().enumerate() {
+            let scalar = LevelEncoding::encode_with(coeffs, 32, &scalar_policy());
+            let tiled = LevelEncoding::encode(coeffs, 32);
+            assert_eq!(tiled.to_bytes().unwrap(), scalar.to_bytes().unwrap(), "case {i}");
+            for b in [0u32, 5, 32] {
+                let s = scalar.decode_with(b, &scalar_policy());
+                let t = tiled.decode(b);
+                let same = s.iter().zip(&t).all(|(a, x)| a.to_bits() == x.to_bits());
+                assert!(same, "case {i} b={b}");
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@ use crate::decompose::{Decomposer, TransformMode};
 use crate::estimate::{estimate_error, theory_constants};
 use crate::exec::{ExecPolicy, AUTO, PARALLEL_MIN_COEFFS, PARALLEL_MIN_POINTS};
 use crate::retrieve::{greedy_plan, greedy_plan_budget, plan_size, RetrievalPlan};
+use pmr_codec::PlaneKernel;
 use pmr_error::PmrError;
 use pmr_field::{Field, Shape};
 use serde::{Deserialize, Serialize};
@@ -32,6 +33,12 @@ pub struct CompressConfig {
     /// Strided lines per transform work unit; `0` = auto.
     #[serde(default)]
     pub chunk_lines: usize,
+    /// Bit-plane codec kernel for the encode/decode hot path; every kernel
+    /// is bit-identical (see [`crate::exec::ExecPolicy::kernel`]). Defaults
+    /// to [`PlaneKernel::Auto`], so configs persisted before this field
+    /// existed deserialize unchanged.
+    #[serde(default)]
+    pub kernel: PlaneKernel,
 }
 
 impl Default for CompressConfig {
@@ -42,6 +49,7 @@ impl Default for CompressConfig {
             mode: TransformMode::L2Projection,
             threads: AUTO,
             chunk_lines: AUTO,
+            kernel: PlaneKernel::Auto,
         }
     }
 }
@@ -52,9 +60,10 @@ impl CompressConfig {
         CompressConfigBuilder::default()
     }
 
-    /// The execution policy implied by the `threads`/`chunk_lines` knobs.
+    /// The execution policy implied by the `threads`/`chunk_lines`/`kernel`
+    /// knobs.
     pub fn exec(&self) -> ExecPolicy {
-        ExecPolicy { threads: self.threads, chunk_lines: self.chunk_lines }
+        ExecPolicy { threads: self.threads, chunk_lines: self.chunk_lines, kernel: self.kernel }
     }
 }
 
@@ -66,6 +75,7 @@ pub struct CompressConfigBuilder {
     mode: Option<TransformMode>,
     threads: Option<usize>,
     chunk_lines: Option<usize>,
+    kernel: Option<PlaneKernel>,
 }
 
 impl CompressConfigBuilder {
@@ -100,6 +110,13 @@ impl CompressConfigBuilder {
         self
     }
 
+    /// Bit-plane codec kernel (omit for runtime auto-detection; every
+    /// kernel produces bit-identical artifacts).
+    pub fn kernel(mut self, kernel: PlaneKernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<CompressConfig, PmrError> {
         let defaults = CompressConfig::default();
@@ -129,6 +146,7 @@ impl CompressConfigBuilder {
             mode: self.mode.unwrap_or(defaults.mode),
             threads: self.threads.unwrap_or(AUTO),
             chunk_lines: self.chunk_lines.unwrap_or(AUTO),
+            kernel: self.kernel.unwrap_or(PlaneKernel::Auto),
         })
     }
 }

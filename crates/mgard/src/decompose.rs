@@ -682,8 +682,8 @@ mod tests {
                 dec.decompose(&mut serial);
                 for exec in [
                     ExecPolicy::with_threads(4),
-                    ExecPolicy { threads: 3, chunk_lines: 1 },
-                    ExecPolicy { threads: 2, chunk_lines: 5 },
+                    ExecPolicy { threads: 3, chunk_lines: 1, ..Default::default() },
+                    ExecPolicy { threads: 2, chunk_lines: 5, ..Default::default() },
                 ] {
                     let mut par = orig.clone();
                     dec.decompose_with(&mut par, &exec);

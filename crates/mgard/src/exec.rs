@@ -8,6 +8,7 @@
 //! reductions use `f64::max` (exact, order-independent), and chunk boundaries
 //! are derived from the policy, never from thread scheduling.
 
+use pmr_codec::PlaneKernel;
 use serde::{Deserialize, Serialize};
 
 /// Sentinel meaning "let the library pick" for [`ExecPolicy`] knobs.
@@ -33,23 +34,36 @@ pub struct ExecPolicy {
     /// Strided lines claimed per work unit in the transform passes; `0` =
     /// auto (currently 16).
     pub chunk_lines: usize,
+    /// Which bit-plane codec kernel the encode/decode stages use. Every
+    /// kernel is bit-identical; [`PlaneKernel::Scalar`] keeps the legacy
+    /// bit-at-a-time path alive as the differential oracle (and ignores
+    /// `threads` for the bit-plane stage). Defaults to [`PlaneKernel::Auto`],
+    /// so policies persisted before this field existed deserialize unchanged.
+    #[serde(default)]
+    pub kernel: PlaneKernel,
 }
 
 impl Default for ExecPolicy {
     fn default() -> Self {
-        ExecPolicy { threads: AUTO, chunk_lines: AUTO }
+        ExecPolicy { threads: AUTO, chunk_lines: AUTO, kernel: PlaneKernel::Auto }
     }
 }
 
 impl ExecPolicy {
     /// A policy that always runs on the calling thread.
     pub fn serial() -> Self {
-        ExecPolicy { threads: 1, chunk_lines: AUTO }
+        ExecPolicy { threads: 1, ..Self::default() }
     }
 
     /// A policy with an explicit thread count and automatic chunking.
     pub fn with_threads(threads: usize) -> Self {
-        ExecPolicy { threads, chunk_lines: AUTO }
+        ExecPolicy { threads, ..Self::default() }
+    }
+
+    /// This policy with a different bit-plane kernel.
+    pub fn with_kernel(mut self, kernel: PlaneKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// The thread count after resolving the [`AUTO`] sentinel.
@@ -80,7 +94,7 @@ impl ExecPolicy {
     /// changes results — parallel and serial agree bit-for-bit regardless.
     pub fn gate(&self, work_items: usize, min_items: usize) -> ExecPolicy {
         if work_items < min_items {
-            ExecPolicy { threads: 1, chunk_lines: self.chunk_lines }
+            ExecPolicy { threads: 1, ..*self }
         } else {
             *self
         }

@@ -46,6 +46,7 @@ pub use compress::{
 pub use decompose::{Decomposer, TransformMode};
 pub use estimate::theory_constants;
 pub use exec::ExecPolicy;
+pub use pmr_codec::PlaneKernel;
 pub use retrieve::{
     greedy_plan, greedy_plan_budget, greedy_plan_capped, plan_size, refine_plan, RetrievalPlan,
 };

@@ -5,7 +5,7 @@ use pmr_field::{error::max_abs_error, Field, Shape};
 use pmr_mgard::{
     decompose::{Decomposer, TransformMode},
     estimate::{estimate_error, theory_constants},
-    CompressConfig, Compressed, ExecPolicy, LevelEncoding,
+    CompressConfig, Compressed, ExecPolicy, LevelEncoding, PlaneKernel,
 };
 use proptest::prelude::*;
 
@@ -119,7 +119,7 @@ proptest! {
             })
             .collect();
         let dec = Decomposer::new(shape, levels, mode);
-        let exec = ExecPolicy { threads, chunk_lines };
+        let exec = ExecPolicy { threads, chunk_lines, ..Default::default() };
 
         let mut serial = orig.clone();
         dec.decompose(&mut serial);
@@ -154,7 +154,87 @@ proptest! {
         prop_assert_eq!(par_row, serial_row);
     }
 
+    // --- SIMD/SWAR tile kernels vs the legacy scalar oracle: encode bytes,
+    // error rows and every decode prefix must be bit-identical. ---
+
+    #[test]
+    fn tiled_kernels_match_scalar_oracle(
+        coeffs in proptest::collection::vec(-1e6f64..1e6, 1..500),
+        planes in 4u32..34,
+        prefix_frac in 0.0f64..=1.0,
+    ) {
+        let scalar = ExecPolicy::serial().with_kernel(PlaneKernel::Scalar);
+        let oracle = LevelEncoding::encode_with(&coeffs, planes, &scalar);
+        let b = (f64::from(planes) * prefix_frac) as u32;
+        let want: Vec<u64> =
+            oracle.decode_with(b, &scalar).iter().map(|v| v.to_bits()).collect();
+        for kernel in [PlaneKernel::Auto, PlaneKernel::Simd, PlaneKernel::Swar] {
+            let exec = ExecPolicy::serial().with_kernel(kernel);
+            let enc = LevelEncoding::encode_with(&coeffs, planes, &exec);
+            prop_assert_eq!(enc.to_bytes().unwrap(), oracle.to_bytes().unwrap());
+            let row: Vec<u64> = enc.error_row().iter().map(|v| v.to_bits()).collect();
+            let oracle_row: Vec<u64> = oracle.error_row().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(row, oracle_row);
+            let got: Vec<u64> =
+                enc.decode_with(b, &exec).iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    #[test]
+    fn payload_decode_never_panics_on_truncation(
+        coeffs in proptest::collection::vec(-1e3f64..1e3, 1..300),
+        planes in 4u32..34,
+        take in 0usize..40,
+        cut in 0usize..4096,
+        corrupt in any::<u8>(),
+    ) {
+        // Truncated, over-long, or bit-flipped plane payloads must come back
+        // as Ok or a clean Err through every kernel — never a panic. The
+        // bounded decompressor is what makes this total.
+        let enc = LevelEncoding::encode(&coeffs, planes);
+        let mut payloads: Vec<Vec<u8>> =
+            (0..take.min(planes as usize) as u32).map(|k| enc.plane_payload(k).to_vec()).collect();
+        if let Some(last) = payloads.last_mut() {
+            last.truncate(cut.min(last.len()));
+            if let Some(byte) = last.first_mut() {
+                *byte ^= corrupt;
+            }
+        }
+        for kernel in [PlaneKernel::Scalar, PlaneKernel::Auto, PlaneKernel::Swar] {
+            let _ = enc.decode_from_payloads_with(&payloads, kernel);
+        }
+    }
+
+    #[test]
+    fn payload_prefix_decode_is_kernel_invariant(
+        coeffs in proptest::collection::vec(-1e4f64..1e4, 1..300),
+        planes in 4u32..34,
+        keep_frac in 0.0f64..=1.0,
+    ) {
+        // A valid strict prefix of plane payloads decodes identically
+        // through the scalar assembly and the transposed kernels.
+        let enc = LevelEncoding::encode(&coeffs, planes);
+        let keep = (f64::from(planes) * keep_frac) as usize;
+        let payloads: Vec<Vec<u8>> =
+            (0..keep as u32).map(|k| enc.plane_payload(k).to_vec()).collect();
+        let want: Vec<u64> = enc
+            .decode_from_payloads_with(&payloads, PlaneKernel::Scalar)
+            .expect("prefix of a valid artifact decodes")
+            .iter().map(|v| v.to_bits()).collect();
+        for kernel in [PlaneKernel::Auto, PlaneKernel::Simd, PlaneKernel::Swar] {
+            let got: Vec<u64> = enc
+                .decode_from_payloads_with(&payloads, kernel)
+                .expect("prefix of a valid artifact decodes")
+                .iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
     // --- float edge cases through the negabinary bit-plane path. The NaN
+    // (deterministic twins of the kernel properties live at the bottom of
+    // this file: the offline proptest stub elides `proptest!` bodies, so
+    // local runs still need compiled coverage of the same invariants.)
     // policy (documented in `bitplane::LevelEncoding::encode`): any level
     // containing a non-finite value collapses to a zero level. ---
 
@@ -308,6 +388,70 @@ proptest! {
             if plan.estimated_error <= bound {
                 let rec = c.retrieve(&plan);
                 prop_assert!(max_abs_error(field.data(), rec.data()) <= bound);
+            }
+        }
+    }
+}
+
+// Deterministic twins of the kernel-differential properties above (the
+// offline proptest stub elides `proptest!` bodies; CI runs the randomized
+// form with the real crate).
+#[test]
+fn kernel_identity_and_payload_totality_on_fixed_corpus() {
+    let scalar = ExecPolicy::serial().with_kernel(PlaneKernel::Scalar);
+    let kernels = [PlaneKernel::Auto, PlaneKernel::Simd, PlaneKernel::Swar];
+    let coeffs: Vec<f64> = (0..333).map(|i| ((i as f64) * 0.73).sin() * 1e4 - (i as f64)).collect();
+    for planes in [4u32, 13, 33] {
+        let oracle = LevelEncoding::encode_with(&coeffs, planes, &scalar);
+        for kernel in kernels {
+            let exec = ExecPolicy::serial().with_kernel(kernel);
+            let enc = LevelEncoding::encode_with(&coeffs, planes, &exec);
+            assert_eq!(enc.to_bytes().unwrap(), oracle.to_bytes().unwrap());
+            let row: Vec<u64> = enc.error_row().iter().map(|v| v.to_bits()).collect();
+            let oracle_row: Vec<u64> = oracle.error_row().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(row, oracle_row);
+            for b in [0, planes / 2, planes] {
+                let got: Vec<u64> = enc.decode_with(b, &exec).iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> =
+                    oracle.decode_with(b, &scalar).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "kernel {kernel:?} decode({b}) diverged");
+            }
+        }
+
+        // Valid prefixes decode identically through every kernel; truncated
+        // and bit-flipped payloads return cleanly instead of panicking.
+        let enc = LevelEncoding::encode(&coeffs, planes);
+        for keep in [0usize, 1, planes as usize / 2, planes as usize] {
+            let payloads: Vec<Vec<u8>> =
+                (0..keep as u32).map(|k| enc.plane_payload(k).to_vec()).collect();
+            let want: Vec<u64> = enc
+                .decode_from_payloads_with(&payloads, PlaneKernel::Scalar)
+                .expect("prefix of a valid artifact decodes")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            for kernel in kernels {
+                let got: Vec<u64> = enc
+                    .decode_from_payloads_with(&payloads, kernel)
+                    .expect("prefix of a valid artifact decodes")
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(got, want, "payload decode {kernel:?} diverged at keep={keep}");
+            }
+            if keep == 0 {
+                continue;
+            }
+            let mut mangled = payloads;
+            if let Some(last) = mangled.last_mut() {
+                let cut = last.len() / 2;
+                last.truncate(cut);
+                if let Some(byte) = last.first_mut() {
+                    *byte ^= 0x5a;
+                }
+            }
+            for kernel in [PlaneKernel::Scalar, PlaneKernel::Auto, PlaneKernel::Swar] {
+                let _ = enc.decode_from_payloads_with(&mangled, kernel);
             }
         }
     }
